@@ -1,0 +1,397 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index). Each
+// benchmark measures the cost of producing its artifact and reports
+// the artifact's headline numbers as custom metrics, so
+// `go test -bench=. -benchmem` both exercises and summarizes the
+// reproduction. cmd/rtrsim prints the full paper-style tables.
+package repro
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/igp"
+	"repro/internal/netsim"
+	"repro/internal/routing"
+	"repro/internal/sim"
+	"repro/internal/spt"
+	"repro/internal/topology"
+)
+
+// benchCases sizes the benchmark workload: large enough for stable
+// rates, small enough that the whole suite runs in well under a
+// minute per iteration.
+const benchCases = 400
+
+var (
+	benchOnce sync.Once
+	benchData *sim.Dataset // AS1239 analogue dataset shared by figure benches
+	benchErr  error
+)
+
+func sharedDataset(b *testing.B) *sim.Dataset {
+	b.Helper()
+	benchOnce.Do(func() {
+		var w *sim.World
+		if w, benchErr = sim.NewWorld("AS1239", 11); benchErr == nil {
+			benchData = sim.BuildDataset(w, sim.Config{Recoverable: benchCases, Irrecoverable: benchCases, Seed: 42})
+		}
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchData
+}
+
+// BenchmarkTable1WalkTrace reproduces Table I: the full phase-1 walk
+// plus phase-2 recovery on the paper's Fig. 6 worked example.
+func BenchmarkTable1WalkTrace(b *testing.B) {
+	topo := topology.PaperExample()
+	ci := topology.BuildCrossIndex(topo)
+	r := core.New(topo, ci)
+	sc := failure.NewScenario(topo, topology.PaperFailureArea())
+	lv := routing.NewLocalView(topo, sc)
+	trigger := topology.PaperLink(topo, 6, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := r.NewSession(lv, topology.PaperNode(6))
+		if err != nil {
+			b.Fatal(err)
+		}
+		col, err := sess.Collect(trigger)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if col.Walk.Hops() != 11 {
+			b.Fatalf("Table I walk has %d hops, want 11", col.Walk.Hops())
+		}
+		if _, ok := sess.RecoveryPath(topology.PaperNode(17)); !ok {
+			b.Fatal("v17 must be recoverable")
+		}
+	}
+}
+
+// BenchmarkTable2TopologySynthesis regenerates Table II: all eight
+// ISP-like topologies with their node/link counts.
+func BenchmarkTable2TopologySynthesis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, p := range topology.TableII() {
+			topo, err := topology.Generate(p, rand.New(rand.NewSource(int64(i)+1)))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if topo.G.NumNodes() != p.Nodes || topo.G.NumLinks() != p.Links {
+				b.Fatalf("%s: %d/%d nodes/links, want %d/%d",
+					p.Name, topo.G.NumNodes(), topo.G.NumLinks(), p.Nodes, p.Links)
+			}
+		}
+	}
+}
+
+// BenchmarkFig7FirstPhaseDuration regenerates Fig. 7's CDF of
+// first-phase durations.
+func BenchmarkFig7FirstPhaseDuration(b *testing.B) {
+	d := sharedDataset(b)
+	b.ResetTimer()
+	var p90 float64
+	for i := 0; i < b.N; i++ {
+		cdf := d.Fig7()
+		p90 = cdf.Quantile(0.9)
+	}
+	b.ReportMetric(p90, "p90-ms")
+}
+
+// BenchmarkTable3Recoverable regenerates Table III's row for the
+// shared topology and reports the headline rates.
+func BenchmarkTable3Recoverable(b *testing.B) {
+	d := sharedDataset(b)
+	b.ResetTimer()
+	var row sim.Table3Row
+	for i := 0; i < b.N; i++ {
+		row = d.Table3()
+	}
+	b.ReportMetric(row.RTROptimal, "rtr-optimal-%")
+	b.ReportMetric(row.FCPOptimal, "fcp-optimal-%")
+	b.ReportMetric(row.MRCRecovery, "mrc-recovery-%")
+}
+
+// BenchmarkFig8StretchCDF regenerates Fig. 8's stretch CDFs.
+func BenchmarkFig8StretchCDF(b *testing.B) {
+	d := sharedDataset(b)
+	b.ResetTimer()
+	var rtrMax, fcpMax float64
+	for i := 0; i < b.N; i++ {
+		rtr, fcp := d.Fig8()
+		rtrMax, fcpMax = rtr.Max(), fcp.Max()
+	}
+	b.ReportMetric(rtrMax, "rtr-max-stretch")
+	b.ReportMetric(fcpMax, "fcp-max-stretch")
+}
+
+// BenchmarkFig9ComputationCDF regenerates Fig. 9's CDFs of shortest
+// path calculations on recoverable cases.
+func BenchmarkFig9ComputationCDF(b *testing.B) {
+	d := sharedDataset(b)
+	b.ResetTimer()
+	var rtrMean, fcpMean float64
+	for i := 0; i < b.N; i++ {
+		rtr, fcp := d.Fig9()
+		rtrMean, fcpMean = rtr.Mean(), fcp.Mean()
+	}
+	b.ReportMetric(rtrMean, "rtr-calcs")
+	b.ReportMetric(fcpMean, "fcp-calcs")
+}
+
+// BenchmarkFig10TransmissionOverTime regenerates Fig. 10's
+// transmission-overhead time series over the first second.
+func BenchmarkFig10TransmissionOverTime(b *testing.B) {
+	d := sharedDataset(b)
+	b.ResetTimer()
+	var steadyRTR, steadyFCP float64
+	for i := 0; i < b.N; i++ {
+		pts := d.Fig10(time.Second, 10*time.Millisecond)
+		last := pts[len(pts)-1]
+		steadyRTR, steadyFCP = last.RTRBytes, last.FCPBytes
+	}
+	b.ReportMetric(steadyRTR, "rtr-steady-B")
+	b.ReportMetric(steadyFCP, "fcp-steady-B")
+}
+
+// BenchmarkFig11IrrecoverableVsRadius regenerates a compressed Fig. 11
+// sweep (three radii, fewer areas than the paper's 1000 per radius).
+func BenchmarkFig11IrrecoverableVsRadius(b *testing.B) {
+	w, err := sim.NewWorld("AS1239", 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var atMin, atMax float64
+	for i := 0; i < b.N; i++ {
+		pts := sim.Fig11(w, int64(i)+7, []float64{20, 160, 300}, 20)
+		atMin, atMax = pts[0].Percent, pts[2].Percent
+	}
+	b.ReportMetric(atMin, "irrec-%-r20")
+	b.ReportMetric(atMax, "irrec-%-r300")
+}
+
+// BenchmarkFig12WastedComputation regenerates Fig. 12's CDFs of wasted
+// computation on irrecoverable cases.
+func BenchmarkFig12WastedComputation(b *testing.B) {
+	d := sharedDataset(b)
+	b.ResetTimer()
+	var rtrMax, fcpMean float64
+	for i := 0; i < b.N; i++ {
+		rtr, fcp := d.Fig12()
+		rtrMax, fcpMean = rtr.Max(), fcp.Mean()
+	}
+	b.ReportMetric(rtrMax, "rtr-max-calcs")
+	b.ReportMetric(fcpMean, "fcp-avg-calcs")
+}
+
+// BenchmarkFig13WastedTransmission regenerates Fig. 13's CDFs of
+// wasted transmission on irrecoverable cases.
+func BenchmarkFig13WastedTransmission(b *testing.B) {
+	d := sharedDataset(b)
+	b.ResetTimer()
+	var rtrMean, fcpMean float64
+	for i := 0; i < b.N; i++ {
+		rtr, fcp := d.Fig13()
+		rtrMean, fcpMean = rtr.Mean(), fcp.Mean()
+	}
+	b.ReportMetric(rtrMean, "rtr-avg-B")
+	b.ReportMetric(fcpMean, "fcp-avg-B")
+}
+
+// BenchmarkTable4Irrecoverable regenerates Table IV's row and reports
+// the paper's headline savings.
+func BenchmarkTable4Irrecoverable(b *testing.B) {
+	d := sharedDataset(b)
+	b.ResetTimer()
+	var row sim.Table4Row
+	for i := 0; i < b.N; i++ {
+		row = d.Table4()
+	}
+	if row.FCPAvgComp > 0 {
+		b.ReportMetric(100*(1-row.RTRAvgComp/row.FCPAvgComp), "comp-saved-%")
+	}
+	if row.FCPAvgTrans > 0 {
+		b.ReportMetric(100*(1-row.RTRAvgTrans/row.FCPAvgTrans), "trans-saved-%")
+	}
+}
+
+// BenchmarkDatasetBuild measures the end-to-end cost of generating and
+// running a full per-topology dataset (case generation + all three
+// protocols), the unit of work behind Tables III/IV and Figs. 7-13.
+func BenchmarkDatasetBuild(b *testing.B) {
+	w, err := sim.NewWorld("AS1239", 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.BuildDataset(w, sim.Config{Recoverable: 100, Irrecoverable: 100, Seed: int64(i) + 1})
+	}
+}
+
+// BenchmarkAblationTermination quantifies the enclosure-verified
+// termination against the paper's literal rule (DESIGN.md §6): same
+// workload, two engines, reported as optimal recovery rates.
+func BenchmarkAblationTermination(b *testing.B) {
+	topoSeed := int64(11)
+	build := func(opts ...core.Option) (*sim.World, []*sim.Case) {
+		p, _ := topology.ParamsFor("AS1239")
+		topo, err := topology.Generate(p, rand.New(rand.NewSource(topoSeed)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		w, err := sim.NewWorldFrom(topo, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cases := sim.CollectCases(w, rand.New(rand.NewSource(5)), benchCases, true)
+		return w, cases
+	}
+	verified, verCases := build()
+	paper, papCases := build(core.WithPaperTermination())
+	b.ResetTimer()
+	var verOpt, papOpt float64
+	for i := 0; i < b.N; i++ {
+		vo := sim.RunAll(verified, verCases)
+		po := sim.RunAll(paper, papCases)
+		verOpt, papOpt = optimalRate(vo), optimalRate(po)
+	}
+	b.ReportMetric(verOpt, "verified-optimal-%")
+	b.ReportMetric(papOpt, "paper-rule-optimal-%")
+}
+
+func optimalRate(outs []sim.Outcome) float64 {
+	n, opt := 0, 0
+	for _, o := range outs {
+		if o.Err != nil {
+			continue
+		}
+		n++
+		if o.RTR.Optimal {
+			opt++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return 100 * float64(opt) / float64(n)
+}
+
+// --- Substrate micro-benchmarks -------------------------------------
+
+// BenchmarkDijkstra measures a full shortest-path-tree computation on
+// the largest Table II topology.
+func BenchmarkDijkstra(b *testing.B) {
+	topo := topology.GenerateAS("AS7018", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spt.Compute(topo.G, graph.NodeID(i%topo.G.NumNodes()), graph.Nothing)
+	}
+}
+
+// BenchmarkIncrementalRecompute measures the Narvaez-style incremental
+// SPT update RTR's phase 2 uses, against a batch of removed links.
+func BenchmarkIncrementalRecompute(b *testing.B) {
+	topo := topology.GenerateAS("AS3561", 1)
+	base := spt.Compute(topo.G, 0, graph.Nothing)
+	extra := graph.NewMask(topo.G)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10; i++ {
+		extra.FailLink(graph.LinkID(rng.Intn(topo.G.NumLinks())))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spt.Recompute(topo.G, base, graph.Nothing, extra)
+	}
+}
+
+// BenchmarkCrossIndexBuild measures the per-topology cross-link
+// precomputation on the densest Table II topology.
+func BenchmarkCrossIndexBuild(b *testing.B) {
+	topo := topology.GenerateAS("AS3549", 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		topology.BuildCrossIndex(topo)
+	}
+}
+
+// BenchmarkHeaderCodec measures the packet-header wire codec round
+// trip at a typical phase-1 header size.
+func BenchmarkHeaderCodec(b *testing.B) {
+	h := routing.Header{
+		Mode:        routing.ModeCollect,
+		RecInit:     42,
+		FailedLinks: []graph.LinkID{3, 9, 17, 21, 80},
+		CrossLinks:  []graph.LinkID{5, 44},
+	}
+	buf := make([]byte, 0, h.EncodedSize())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = h.AppendBinary(buf[:0])
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := routing.DecodeHeader(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhase1Walk measures one constrained collection walk on a
+// realistic random failure.
+func BenchmarkPhase1Walk(b *testing.B) {
+	d := sharedDataset(b)
+	w := d.World
+	var c *sim.Case
+	for _, o := range d.Rec {
+		if !o.RTR.NoLiveNeighbor {
+			c = o.Case
+			break
+		}
+	}
+	if c == nil {
+		b.Fatal("no usable case")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess, err := w.RTR.NewSession(c.LV, c.Initiator)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sess.Collect(c.Trigger); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkNetsimRun measures the discrete-event packet simulator on
+// the worked example: one flow, one second of traffic, full recovery
+// timeline.
+func BenchmarkNetsimRun(b *testing.B) {
+	topo := topology.PaperExample()
+	r := core.New(topo, nil)
+	tables := routing.ComputeTables(topo)
+	sc := failure.NewScenario(topo, topology.PaperFailureArea())
+	cfg := netsim.Config{
+		Flows:   []netsim.Flow{{Src: topology.PaperNode(7), Dst: topology.PaperNode(17), Interval: 5 * time.Millisecond}},
+		Horizon: time.Second,
+		Timers:  igp.TunedTimers(),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := netsim.New(r, tables, sc, cfg).Run()
+		if res.Delivered() == 0 {
+			b.Fatal("nothing delivered")
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Command topogen synthesizes and inspects the repository's ISP-like
+// topologies (the paper's Table II analogues).
+//
+// Usage:
+//
+//	topogen -as AS209 -seed 1 -o as209.topo   # synthesize and save
+//	topogen -as AS209 -stats                  # print structure stats
+//	topogen -in as209.topo -stats             # inspect a saved file
+//	topogen -list                             # list Table II presets
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		asName  = flag.String("as", "", "Table II topology to synthesize (e.g. AS209)")
+		seed    = flag.Int64("seed", 1, "synthesis seed")
+		out     = flag.String("o", "", "write the topology to this file ('-' for stdout)")
+		in      = flag.String("in", "", "read a topology file instead of synthesizing")
+		stat    = flag.Bool("stats", false, "print structural statistics")
+		list    = flag.Bool("list", false, "list available presets")
+		fixture = flag.Bool("paper-example", false, "use the paper's Fig. 6 worked-example fixture")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Printf("%-10s %8s %8s\n", "Name", "#Nodes", "#Links")
+		for _, p := range topology.TableII() {
+			fmt.Printf("%-10s %8d %8d\n", p.Name, p.Nodes, p.Links)
+		}
+		return
+	}
+
+	topo, err := load(*asName, *in, *seed, *fixture)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *stat {
+		printStats(topo)
+	}
+	if *out != "" {
+		w := os.Stdout
+		if *out != "-" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := topology.Write(w, topo); err != nil {
+			fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if !*stat && *out == "" {
+		fmt.Fprintln(os.Stderr, "topogen: nothing to do (pass -stats and/or -o)")
+		os.Exit(2)
+	}
+}
+
+func load(asName, in string, seed int64, fixture bool) (*topology.Topology, error) {
+	switch {
+	case fixture:
+		return topology.PaperExample(), nil
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return topology.Read(f)
+	case asName != "":
+		p, ok := topology.ParamsFor(asName)
+		if !ok {
+			return nil, fmt.Errorf("unknown preset %q (try -list)", asName)
+		}
+		return topology.Generate(p, newRand(seed))
+	default:
+		return nil, fmt.Errorf("pass one of -as, -in, or -paper-example")
+	}
+}
+
+func printStats(t *topology.Topology) {
+	g := t.G
+	n := g.NumNodes()
+	degrees := make([]int, n)
+	maxDeg, leaves := 0, 0
+	for v := 0; v < n; v++ {
+		d := g.Degree(graph.NodeID(v))
+		degrees[v] = d
+		if d > maxDeg {
+			maxDeg = d
+		}
+		if d == 1 {
+			leaves++
+		}
+	}
+	sort.Ints(degrees)
+	totalLen := 0.0
+	for i := 0; i < g.NumLinks(); i++ {
+		totalLen += t.LinkSegment(graph.LinkID(i)).Length()
+	}
+	ci := topology.BuildCrossIndex(t)
+
+	fmt.Printf("topology     %s\n", t.Name)
+	fmt.Printf("nodes        %d\n", n)
+	fmt.Printf("links        %d\n", g.NumLinks())
+	fmt.Printf("connected    %v\n", g.ConnectedAll(graph.Nothing))
+	fmt.Printf("degree       min %d / median %d / max %d, %d leaves\n",
+		degrees[0], degrees[n/2], maxDeg, leaves)
+	fmt.Printf("avg link len %.1f\n", totalLen/float64(g.NumLinks()))
+	fmt.Printf("crossings    %d\n", ci.NumCrossings())
+	fmt.Printf("cut vertices %d\n", len(g.ArticulationPoints(graph.Nothing)))
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

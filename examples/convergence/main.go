@@ -1,0 +1,61 @@
+// Convergence: the paper's motivation, quantified. IGP convergence
+// after a large-scale failure takes seconds (with conservative timers)
+// and every failed routing path drops its traffic for the whole
+// window; RTR reroutes recoverable paths as soon as the failure is
+// detected. The example measures packet loss with and without RTR
+// under both classic and tuned IGP timers.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/igp"
+	"repro/internal/sim"
+)
+
+func main() {
+	w, err := sim.NewWorld("AS209", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, mode := range []struct {
+		name   string
+		timers igp.Timers
+	}{
+		{"classic IGP timers (hello-based detection, SPF hold)", igp.ClassicTimers()},
+		{"tuned IGP timers (BFD, aggressive SPF — risks flapping)", igp.TunedTimers()},
+	} {
+		res := sim.PacketLoss(w, sim.LossConfig{
+			Scenarios:        40,
+			PacketsPerSecond: 10000,
+			Seed:             7,
+			Timers:           mode.timers,
+		})
+		fmt.Printf("%s\n", mode.name)
+		fmt.Printf("  mean convergence window    %v\n", res.MeanConvergence.Round(1e6))
+		fmt.Printf("  failed routing paths       %d (%d recoverable)\n", res.FailedPaths, res.RecoverablePaths)
+		fmt.Printf("  packets dropped, no rec.   %.2fM\n", res.DroppedNoRecovery/1e6)
+		fmt.Printf("  packets dropped, with RTR  %.2fM\n", res.DroppedWithRTR/1e6)
+		fmt.Printf("  saved by RTR               %.1f%%\n\n", res.SavedPercent)
+	}
+	// Availability over time: the fraction of failed flows restored t
+	// seconds after the failure.
+	pts := sim.GoodputSeries(w, sim.LossConfig{
+		Scenarios: 25, PacketsPerSecond: 10000, Seed: 7, Timers: igp.ClassicTimers(),
+	}, 500*time.Millisecond)
+	fmt.Println("flow availability after the failure (classic timers):")
+	fmt.Printf("  %8s %12s %10s\n", "t", "no recovery", "with RTR")
+	for _, p := range pts {
+		if p.T > 8*time.Second || p.T%(2*time.Second) != 0 {
+			continue
+		}
+		fmt.Printf("  %8v %11.1f%% %9.1f%%\n", p.T, 100*p.NoRecovery, 100*p.WithRTR)
+	}
+
+	fmt.Println()
+	fmt.Println("RTR recovers most recoverable paths right after failure detection;")
+	fmt.Println("the residual loss is dominated by destinations no scheme can reach.")
+}

@@ -1,0 +1,88 @@
+// Linkfailure: Theorem 3 in action. Under ANY single link failure,
+// RTR recovers every failed routing path with the exact shortest
+// recovery path. The example exhaustively fails each link of a
+// synthesized AS1239 analogue, recovers every affected
+// (initiator, destination) pair, and verifies optimality against
+// ground truth.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/spt"
+	"repro/internal/topology"
+)
+
+func main() {
+	topo := topology.GenerateAS("AS1239", 1)
+	tables := routing.ComputeTables(topo)
+	rtr := core.New(topo, nil)
+	fmt.Printf("exhaustive single-link-failure sweep on %s (%d links)\n",
+		topo.Name, topo.G.NumLinks())
+
+	cases, recovered, optimal, partitioned := 0, 0, 0, 0
+	for li := 0; li < topo.G.NumLinks(); li++ {
+		linkID := graph.LinkID(li)
+		sc := failure.SingleLink(topo, linkID)
+		lv := routing.NewLocalView(topo, sc)
+
+		for i := 0; i < topo.G.NumNodes(); i++ {
+			initiator := graph.NodeID(i)
+			var sess *core.Session
+			for d := 0; d < topo.G.NumNodes(); d++ {
+				dst := graph.NodeID(d)
+				if dst == initiator {
+					continue
+				}
+				_, trigger, ok := tables.NextHop(initiator, dst)
+				if !ok || !lv.NeighborUnreachable(initiator, trigger) {
+					continue
+				}
+				cases++
+				if sess == nil {
+					var err error
+					sess, err = rtr.NewSession(lv, initiator)
+					if err != nil {
+						log.Fatal(err)
+					}
+				}
+				rt, fwd, ok, err := sess.Recover(trigger, dst)
+				if errors.Is(err, core.ErrNoLiveNeighbor) {
+					// A leaf initiator lost its only link: cut off
+					// entirely, nothing any scheme could do.
+					partitioned++
+					continue
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+				if !ok {
+					// The link was a bridge: the destination now sits
+					// in another partition. No scheme can recover.
+					partitioned++
+					continue
+				}
+				if !fwd.Delivered {
+					log.Fatalf("Theorem 3 violated: drop under single failure of %v", topo.G.Link(linkID))
+				}
+				recovered++
+				truth := spt.Compute(topo.G, initiator, sc)
+				if opt, _ := truth.CostTo(dst); rt.Cost == opt {
+					optimal++
+				} else {
+					log.Fatalf("Theorem 3 violated: non-optimal path under failure of %v", topo.G.Link(linkID))
+				}
+			}
+		}
+	}
+	fmt.Printf("failed routing paths (deduplicated): %d\n", cases)
+	fmt.Printf("partitioned (bridge links, unrecoverable by any scheme): %d\n", partitioned)
+	fmt.Printf("recovered: %d — all with the exact shortest recovery path: %v\n",
+		recovered, recovered == optimal)
+}

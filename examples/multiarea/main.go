@@ -1,0 +1,65 @@
+// Multiarea: Section III-E's extension — a packet that bypasses one
+// failure area can run into a second one; the recovery chains, with
+// the packet carrying the first area's failed links so the next
+// initiator prunes them too. The example places two disjoint disasters
+// on a dense AS3320 analogue and delivers packets across both.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+func main() {
+	topo := topology.GenerateAS("AS3320", 5)
+	tables := routing.ComputeTables(topo)
+	rtr := core.New(topo, nil)
+	rng := rand.New(rand.NewSource(12))
+
+	attempts, delivered, chained := 0, 0, 0
+	var exampleShown bool
+	for trial := 0; trial < 400; trial++ {
+		a1 := failure.RandomArea(rng, 150, 250)
+		a2 := failure.RandomArea(rng, 150, 250)
+		if a1.Center.Dist(a2.Center) < a1.Radius+a2.Radius+100 {
+			continue // keep the two disasters disjoint
+		}
+		sc := failure.NewScenario(topo, a1, a2)
+		lv := routing.NewLocalView(topo, sc)
+		src := graph.NodeID(rng.Intn(topo.G.NumNodes()))
+		dst := graph.NodeID(rng.Intn(topo.G.NumNodes()))
+		if src == dst || sc.NodeDown(src) || sc.NodeDown(dst) {
+			continue
+		}
+		if out, _, _ := routing.TraceDefault(tables, lv, src, dst); out != routing.DefaultBlocked {
+			continue // unaffected path, nothing to demonstrate
+		}
+		attempts++
+		res, err := rtr.Deliver(tables, lv, src, dst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if res.Delivered {
+			delivered++
+			if len(res.Initiators) > 1 {
+				chained++
+				if !exampleShown {
+					exampleShown = true
+					fmt.Printf("example chained recovery: %d -> %d via initiators %v "+
+						"(%d total hops, %d SP calculations)\n",
+						src, dst, res.Initiators, res.TotalHops, res.SPCalcs)
+				}
+			}
+		}
+	}
+	fmt.Printf("two-disaster trials with a blocked path: %d\n", attempts)
+	fmt.Printf("delivered end to end: %d\n", delivered)
+	fmt.Printf("needed chained recoveries (hit the second area mid-route): %d\n", chained)
+}

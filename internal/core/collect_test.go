@@ -1,0 +1,259 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// paperWorld builds the Fig. 6 fixture with its failure area and the
+// v6 recovery session triggered by the failed default next hop toward
+// v17 (link e6-11), exactly the paper's running example.
+func paperWorld(t *testing.T) (*topology.Topology, *RTR, *routing.LocalView, *Session, graph.LinkID) {
+	t.Helper()
+	topo := topology.PaperExample()
+	r := New(topo, nil)
+	sc := failure.NewScenario(topo, topology.PaperFailureArea())
+	lv := routing.NewLocalView(topo, sc)
+	sess, err := r.NewSession(lv, topology.PaperNode(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo, r, lv, sess, topology.PaperLink(topo, 6, 11)
+}
+
+// TestTableIWalk reproduces the paper's Table I verbatim: the walk
+// v6 v5 v4 v9 v13 v14 v12 v11 v12 v8 v7 v6 and the per-hop contents of
+// failed_link and cross_link.
+func TestTableIWalk(t *testing.T) {
+	topo, _, _, sess, trigger := paperWorld(t)
+	res, err := sess.Collect(trigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wantNodes := []int{6, 5, 4, 9, 13, 14, 12, 11, 12, 8, 7, 6}
+	gotNodes := res.Walk.Nodes()
+	if len(gotNodes) != len(wantNodes) {
+		t.Fatalf("walk = %v (%d nodes), want v%v", gotNodes, len(gotNodes), wantNodes)
+	}
+	for i, k := range wantNodes {
+		if gotNodes[i] != topology.PaperNode(k) {
+			t.Fatalf("walk[%d] = v%d, want v%d (walk %v)", i, gotNodes[i]+1, k, gotNodes)
+		}
+	}
+	if res.Walk.Hops() != 11 {
+		t.Errorf("walk hops = %d, want 11 (Table I ends at hop 11)", res.Walk.Hops())
+	}
+	if res.FirstHop != topology.PaperNode(5) {
+		t.Errorf("first hop = v%d, want v5", res.FirstHop+1)
+	}
+
+	// failed_link, in Table I's exact recording order.
+	wantFailed := []graph.LinkID{
+		topology.PaperLink(topo, 5, 10),
+		topology.PaperLink(topo, 4, 11),
+		topology.PaperLink(topo, 9, 10),
+		topology.PaperLink(topo, 10, 14),
+		topology.PaperLink(topo, 10, 11),
+	}
+	if len(res.Header.FailedLinks) != len(wantFailed) {
+		t.Fatalf("failed_link = %v, want %v", res.Header.FailedLinks, wantFailed)
+	}
+	for i, id := range wantFailed {
+		if res.Header.FailedLinks[i] != id {
+			t.Errorf("failed_link[%d] = %v, want %v",
+				i, topo.G.Link(res.Header.FailedLinks[i]), topo.G.Link(id))
+		}
+	}
+
+	// cross_link: exactly {e6-11, e14-12}, in insertion order.
+	wantCross := []graph.LinkID{
+		topology.PaperLink(topo, 6, 11),
+		topology.PaperLink(topo, 12, 14),
+	}
+	if len(res.Header.CrossLinks) != len(wantCross) {
+		t.Fatalf("cross_link = %v, want %v", res.Header.CrossLinks, wantCross)
+	}
+	for i, id := range wantCross {
+		if res.Header.CrossLinks[i] != id {
+			t.Errorf("cross_link[%d] = %v, want %v",
+				i, topo.G.Link(res.Header.CrossLinks[i]), topo.G.Link(id))
+		}
+	}
+
+	// Per-hop header growth (Table I's rows, as recording bytes with
+	// 16-bit link IDs): hop 0 carries 1 cross link; e14-12 joins at
+	// hop 5; failed links arrive at hops 1, 2, 3, 5, 7.
+	wantBytes := []int{2, 4, 6, 8, 8, 12, 12, 14, 14, 14, 14}
+	for i, rec := range res.Walk.Records {
+		if rec.HeaderBytes != wantBytes[i] {
+			t.Errorf("hop %d header bytes = %d, want %d", i, rec.HeaderBytes, wantBytes[i])
+		}
+	}
+}
+
+func TestCollectDuration(t *testing.T) {
+	_, _, _, sess, trigger := paperWorld(t)
+	res, err := sess.Collect(trigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 11 hops x 1.8 ms.
+	if got := time.Duration(res.Duration()); got != 11*routing.HopDelay {
+		t.Errorf("first-phase duration = %v, want %v", got, 11*routing.HopDelay)
+	}
+}
+
+func TestCollectIsCached(t *testing.T) {
+	_, _, _, sess, trigger := paperWorld(t)
+	a, err := sess.Collect(trigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sess.Collect(trigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Collect must run once per session and cache its result")
+	}
+}
+
+func TestCollectHeaderModeAndInit(t *testing.T) {
+	_, _, _, sess, trigger := paperWorld(t)
+	res, err := sess.Collect(trigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Header.Mode != routing.ModeCollect {
+		t.Errorf("mode = %v, want collect", res.Header.Mode)
+	}
+	if res.Header.RecInit != topology.PaperNode(6) {
+		t.Errorf("rec_init = %d, want v6", res.Header.RecInit)
+	}
+	if !res.Constrained {
+		t.Error("normal collection must be constrained")
+	}
+}
+
+// TestFig4UnconstrainedDisorder reproduces Fig. 4: without the
+// constraints, the right-hand rule at v5 selects v12 (crossing e6-11),
+// the walk short-circuits back to v6 and fails to enclose the failure
+// area, missing most failed links.
+func TestFig4UnconstrainedDisorder(t *testing.T) {
+	topo, r, lv, _, trigger := paperWorld(t)
+	res, err := r.CollectUnconstrained(lv, topology.PaperNode(6), trigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := res.Walk.Nodes()
+	// The disordered walk: v6 v5 v12 v8 v7 v6.
+	want := []int{6, 5, 12, 8, 7, 6}
+	if len(nodes) != len(want) {
+		t.Fatalf("unconstrained walk = %v, want v%v", nodes, want)
+	}
+	for i, k := range want {
+		if nodes[i] != topology.PaperNode(k) {
+			t.Fatalf("unconstrained walk[%d] = v%d, want v%d", i, nodes[i]+1, k)
+		}
+	}
+	// It collects only e5-10 and misses the other four failures.
+	if len(res.Header.FailedLinks) != 1 || res.Header.FailedLinks[0] != topology.PaperLink(topo, 5, 10) {
+		t.Errorf("unconstrained failed_link = %v, want only e5-10", res.Header.FailedLinks)
+	}
+	if res.Constrained {
+		t.Error("result must be flagged unconstrained")
+	}
+}
+
+func TestCollectErrors(t *testing.T) {
+	topo, r, lv, _, _ := paperWorld(t)
+
+	// Session at a failed router.
+	if _, err := r.NewSession(lv, topology.PaperNode(10)); !errors.Is(err, ErrInitiatorDown) {
+		t.Errorf("session at v10: err = %v, want ErrInitiatorDown", err)
+	}
+
+	// Trigger whose far end is reachable.
+	sess, err := r.NewSession(lv, topology.PaperNode(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Collect(topology.PaperLink(topo, 6, 5)); !errors.Is(err, ErrNotUnreachable) {
+		t.Errorf("live trigger: err = %v, want ErrNotUnreachable", err)
+	}
+
+	// Trigger not incident to the initiator.
+	if _, err := sess.Collect(topology.PaperLink(topo, 15, 17)); err == nil {
+		t.Error("non-incident trigger must fail")
+	}
+}
+
+func TestCollectNoLiveNeighbor(t *testing.T) {
+	// An initiator whose every neighbor is unreachable cannot collect.
+	topo := topology.PaperExample()
+	r := New(topo, nil)
+	m := graph.NewMask(topo.G)
+	// Fail all of v7's links (e3-7, e6-7, e7-8).
+	for _, h := range topo.G.Adj(topology.PaperNode(7)) {
+		m.FailLink(h.Link)
+	}
+	lv := routing.NewLocalView(topo, m)
+	sess, err := r.NewSession(lv, topology.PaperNode(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sess.Collect(topology.PaperLink(topo, 6, 7))
+	if !errors.Is(err, ErrNoLiveNeighbor) {
+		t.Errorf("err = %v, want ErrNoLiveNeighbor", err)
+	}
+}
+
+// TestCollectSingleLiveNeighborBounce: with exactly one live neighbor
+// the walk bounces out and back and terminates immediately after.
+func TestCollectSingleLiveNeighborBounce(t *testing.T) {
+	topo := topology.PaperExample()
+	r := New(topo, nil)
+	m := graph.NewMask(topo.G)
+	// v7 keeps only e7-8: fail e6-7 and e3-7.
+	m.FailLink(topology.PaperLink(topo, 6, 7))
+	m.FailLink(topology.PaperLink(topo, 3, 7))
+	lv := routing.NewLocalView(topo, m)
+	sess, err := r.NewSession(lv, topology.PaperNode(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Collect(topology.PaperLink(topo, 6, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := res.Walk.Nodes()
+	if nodes[0] != topology.PaperNode(7) || nodes[len(nodes)-1] != topology.PaperNode(7) {
+		t.Errorf("walk must start and end at v7: %v", nodes)
+	}
+	if res.FirstHop != topology.PaperNode(8) {
+		t.Errorf("first hop = v%d, want v8", res.FirstHop+1)
+	}
+}
+
+// The collected failure set must always be a subset of the true failed
+// links (E1 is a subset of E2) — the premise of Theorem 2.
+func TestCollectedSubsetOfTruth(t *testing.T) {
+	topo, _, _, sess, trigger := paperWorld(t)
+	sc := failure.NewScenario(topo, topology.PaperFailureArea())
+	res, err := sess.Collect(trigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range res.Header.FailedLinks {
+		if !sc.LinkDown(id) {
+			t.Errorf("collected link %v is not actually failed", topo.G.Link(id))
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/spt"
+)
+
+// Route is a source route computed by phase 2.
+type Route struct {
+	// Nodes is the node sequence, initiator first, destination last.
+	Nodes []graph.NodeID
+	// Links are the traversed links in travel order.
+	Links []graph.LinkID
+	// Cost is the path cost in the initiator's pruned view. By
+	// Theorem 2 this equals the true post-failure shortest path cost
+	// whenever the route is failure-free.
+	Cost float64
+}
+
+// Hops returns the number of links on the route.
+func (rt Route) Hops() int { return len(rt.Links) }
+
+// prunedView builds the initiator's post-collection topology view:
+// the pre-failure graph minus the collected failed links, minus the
+// initiator's own links to unreachable neighbors, minus any failures
+// seeded from the packet header. Only links are pruned — the initiator
+// cannot tell failed nodes from failed links.
+func (s *Session) prunedView() *graph.Mask {
+	if s.pruned != nil {
+		return s.pruned
+	}
+	m := graph.NewMask(s.r.topo.G)
+	if s.collected != nil {
+		for _, id := range s.collected.Header.FailedLinks {
+			m.FailLink(id)
+		}
+	}
+	for _, id := range s.lv.UnreachableLinks(s.initiator) {
+		m.FailLink(id)
+	}
+	for _, id := range s.seeded {
+		m.FailLink(id)
+	}
+	s.pruned = m
+	return m
+}
+
+// recoveryTree returns the initiator's shortest path tree over the
+// pruned view, computing it on first use via incremental
+// recomputation from the cached pre-failure SPT (Narvaez-style, as the
+// paper prescribes for phase 2). One tree serves every destination;
+// this is the session's single shortest-path calculation.
+func (s *Session) recoveryTree() *spt.Tree {
+	if s.tree == nil {
+		base := s.r.cleanTree(s.initiator)
+		s.tree = spt.Recompute(s.r.topo.G, base, graph.Nothing, s.prunedView())
+		s.spCalcs++
+	}
+	return s.tree
+}
+
+// RecoveryPath returns the shortest recovery path from the initiator
+// to dst in the initiator's pruned view. ok is false when dst is
+// unreachable in that view — RTR then discards packets for dst
+// immediately, the paper's early-discard behavior for irrecoverable
+// destinations.
+func (s *Session) RecoveryPath(dst graph.NodeID) (Route, bool) {
+	t := s.recoveryTree()
+	nodes, ok := t.PathNodes(dst)
+	if !ok {
+		return Route{}, false
+	}
+	links, _ := t.PathLinks(dst)
+	cost, _ := t.CostTo(dst)
+	return Route{Nodes: nodes, Links: links, Cost: cost}, true
+}
+
+// SourceRouteHeader builds the phase-2 packet header carrying rt as a
+// source route.
+func (s *Session) SourceRouteHeader(rt Route) routing.Header {
+	return routing.Header{
+		Mode:        routing.ModeSource,
+		RecInit:     s.initiator,
+		SourceRoute: append([]graph.NodeID(nil), rt.Nodes...),
+		SourceIdx:   0,
+	}
+}
+
+// ForwardResult is the outcome of source-routing a packet along a
+// recovery path under the real (ground-truth) failure.
+type ForwardResult struct {
+	Delivered bool
+	// DropAt is the node that discarded the packet when its source
+	// route's next link turned out to be failed (phase 1 missed it).
+	// Only meaningful when !Delivered.
+	DropAt graph.NodeID
+	// DropLink is the failed link that stopped the packet.
+	DropLink graph.LinkID
+	// Walk is the packet trajectory, with per-hop header bytes (the
+	// full source route stays in the header the whole way).
+	Walk routing.Walk
+}
+
+// ForwardSourceRouted simulates phase-2 forwarding of a packet along
+// rt. Each node checks only local reachability, exactly like a real
+// router executing a source route: if the next hop is unreachable the
+// packet is discarded (the paper: "the recovery path possibly contains
+// a failure. In that case, RTR simply discards the packet").
+func (s *Session) ForwardSourceRouted(rt Route) ForwardResult {
+	var res ForwardResult
+	h := s.SourceRouteHeader(rt)
+	bytes := h.RecordingBytes()
+	for i := 0; i+1 < len(rt.Nodes); i++ {
+		v, w := rt.Nodes[i], rt.Nodes[i+1]
+		link := rt.Links[i]
+		if s.lv.NeighborUnreachable(v, link) {
+			res.DropAt = v
+			res.DropLink = link
+			return res
+		}
+		res.Walk.Append(routing.HopRecord{From: v, To: w, Link: link, HeaderBytes: bytes})
+	}
+	res.Delivered = true
+	return res
+}
+
+// Recover is the end-to-end convenience: run phase 1 (once), compute
+// the recovery path for dst, and simulate phase-2 forwarding. ok is
+// false when the initiator's view has no path to dst (early discard).
+func (s *Session) Recover(trigger graph.LinkID, dst graph.NodeID) (Route, ForwardResult, bool, error) {
+	if _, err := s.Collect(trigger); err != nil {
+		return Route{}, ForwardResult{}, false, err
+	}
+	rt, ok := s.RecoveryPath(dst)
+	if !ok {
+		return Route{}, ForwardResult{}, false, nil
+	}
+	return rt, s.ForwardSourceRouted(rt), true, nil
+}

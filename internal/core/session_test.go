@@ -1,0 +1,129 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// RecoveryPath before Collect is legal: the initiator then prunes only
+// its own unreachable links (the degenerate "no phase 1" mode). On the
+// fixture the naive view still misses e4-11 and e5-10, so the computed
+// 5-hop path may or may not be usable depending on tie-breaking —
+// either way the invariants hold: a failure-free path is optimal
+// (Theorem 2) and a bad pick is caught during forwarding.
+func TestRecoveryPathWithoutCollect(t *testing.T) {
+	topo, _, _, sess, _ := paperWorld(t)
+	rt, ok := sess.RecoveryPath(topology.PaperNode(17))
+	if !ok {
+		t.Fatal("local-only recovery must still find a candidate path")
+	}
+	if rt.Hops() != 5 {
+		t.Fatalf("local-only path has %d hops, want 5", rt.Hops())
+	}
+	sc := failure.NewScenario(topo, topology.PaperFailureArea())
+	fwd := sess.ForwardSourceRouted(rt)
+	if fwd.Delivered {
+		for _, l := range rt.Links {
+			if sc.LinkDown(l) {
+				t.Fatal("delivered across a failed link")
+			}
+		}
+	} else if !sc.LinkDown(fwd.DropLink) {
+		t.Errorf("dropped on live link %v", topo.G.Link(fwd.DropLink))
+	}
+	if sess.SPCalcs() != 1 {
+		t.Errorf("SPCalcs = %d, want 1", sess.SPCalcs())
+	}
+}
+
+// Collect after RecoveryPath invalidates the cached tree: subsequent
+// paths use the collected information (and cost one more computation).
+func TestCollectInvalidatesCachedTree(t *testing.T) {
+	topo, _, _, sess, trigger := paperWorld(t)
+	if _, ok := sess.RecoveryPath(topology.PaperNode(17)); !ok {
+		t.Fatal("need the naive path first")
+	}
+	if _, err := sess.Collect(trigger); err != nil {
+		t.Fatal(err)
+	}
+	rt, ok := sess.RecoveryPath(topology.PaperNode(17))
+	if !ok {
+		t.Fatal("post-collection recovery must succeed")
+	}
+	if rt.Hops() != 5 {
+		t.Errorf("post-collection path has %d hops, want 5", rt.Hops())
+	}
+	if fwd := sess.ForwardSourceRouted(rt); !fwd.Delivered {
+		t.Error("post-collection path must deliver")
+	}
+	if sess.SPCalcs() != 2 {
+		t.Errorf("SPCalcs = %d, want 2 (naive + post-collection)", sess.SPCalcs())
+	}
+	_ = topo
+}
+
+// Every phase-2 header RTR builds survives its own wire codec, across
+// random scenarios.
+func TestSourceRouteHeadersAlwaysEncode(t *testing.T) {
+	topo := topology.GenerateAS("AS209", 11)
+	r := New(topo, nil)
+	tables := routing.ComputeTables(topo)
+	rng := rand.New(rand.NewSource(17))
+	n := topo.G.NumNodes()
+	checked := 0
+	for checked < 100 {
+		sc := failure.RandomScenario(topo, rng)
+		lv := routing.NewLocalView(topo, sc)
+		src := graph.NodeID(rng.Intn(n))
+		dst := graph.NodeID(rng.Intn(n))
+		if src == dst {
+			continue
+		}
+		outcome, initiator, _ := routing.TraceDefault(tables, lv, src, dst)
+		if outcome != routing.DefaultBlocked {
+			continue
+		}
+		sess, err := r.NewSession(lv, initiator)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, trigger, _ := tables.NextHop(initiator, dst)
+		if _, err := sess.Collect(trigger); errors.Is(err, ErrNoLiveNeighbor) {
+			continue
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		rt, ok := sess.RecoveryPath(dst)
+		if !ok {
+			continue
+		}
+		checked++
+		h := sess.SourceRouteHeader(rt)
+		b, err := h.AppendBinary(nil)
+		if err != nil {
+			t.Fatalf("encode: %v (header %+v)", err, h)
+		}
+		back, used, err := routing.DecodeHeader(b)
+		if err != nil || used != len(b) {
+			t.Fatalf("decode: %v (%d of %d bytes)", err, used, len(b))
+		}
+		if len(back.SourceRoute) != len(rt.Nodes) || back.RecInit != initiator {
+			t.Fatalf("header mangled: %+v", back)
+		}
+		// The collection header must round-trip too.
+		ch := sess.Collected().Header
+		cb, err := ch.AppendBinary(nil)
+		if err != nil {
+			t.Fatalf("collect header encode: %v", err)
+		}
+		if _, _, err := routing.DecodeHeader(cb); err != nil {
+			t.Fatalf("collect header decode: %v", err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// TestTruncationRate measures how often the phase-1 walk ends via the
+// truncation return (ran out of fresh directed edges away from home)
+// rather than a clean enclosure-verified termination, and how often it
+// escapes the paper's deterministic sweep. Both are expected under
+// area failures (border areas can never be enclosed); the test
+// documents the rates and guards against a regression where
+// essentially every walk truncates.
+func TestTruncationRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	total, truncated, escapes := 0, 0, 0
+	for _, as := range []string{"AS1239", "AS209", "AS7018"} {
+		topo := topology.GenerateAS(as, 11)
+		r := New(topo, nil)
+		tables := routing.ComputeTables(topo)
+		n := topo.G.NumNodes()
+		cases := 0
+		for cases < 150 {
+			sc := failure.RandomScenario(topo, rng)
+			src := graph.NodeID(rng.Intn(n))
+			dst := graph.NodeID(rng.Intn(n))
+			if src == dst {
+				continue
+			}
+			outcome, initiator, _ := routing.TraceDefault(tables, routing.NewLocalView(topo, sc), src, dst)
+			if outcome != routing.DefaultBlocked {
+				continue
+			}
+			cases++
+			sess, err := r.NewSession(routing.NewLocalView(topo, sc), initiator)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, trigger, _ := tables.NextHop(initiator, dst)
+			col, err := sess.Collect(trigger)
+			if errors.Is(err, ErrNoLiveNeighbor) {
+				continue
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			if col.Truncated {
+				truncated++
+			}
+			escapes += col.Escapes
+		}
+	}
+	t.Logf("phase-1 walks: %d total, %d truncated (%.1f%%), %d escapes",
+		total, truncated, 100*float64(truncated)/float64(total), escapes)
+	if truncated*5 > total*4 {
+		t.Errorf("nearly every walk truncates (%d of %d): the constrained walk is broken", truncated, total)
+	}
+}

@@ -1,0 +1,135 @@
+// Package failure implements the paper's large-scale failure model:
+// one or more continuous failure areas (disks placed in the plane).
+// Routers inside an area fail; links whose segments pass through an
+// area fail even if both endpoints survive. A Scenario is the ground
+// truth of a failure event — only the simulation harness may consult
+// it; protocol code sees failures exclusively through per-node views
+// (see package routing).
+package failure
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// Default failure-radius bounds used by the paper's evaluation: the
+// radius is drawn uniformly from [MinRadius, MaxRadius].
+const (
+	MinRadius = 100.0
+	MaxRadius = 300.0
+)
+
+// Scenario is the ground truth of a failure event on a topology.
+// It implements graph.Denied.
+type Scenario struct {
+	Topo  *topology.Topology
+	areas []geom.Disk
+	mask  *graph.Mask
+}
+
+var _ graph.Denied = (*Scenario)(nil)
+
+// NewScenario computes the ground truth for the given failure areas on
+// topo: every node inside any area fails, and every link that has a
+// failed endpoint or whose segment intersects any area fails.
+func NewScenario(topo *topology.Topology, areas ...geom.Disk) *Scenario {
+	s := &Scenario{
+		Topo:  topo,
+		areas: append([]geom.Disk(nil), areas...),
+		mask:  graph.NewMask(topo.G),
+	}
+	for v := 0; v < topo.G.NumNodes(); v++ {
+		for _, a := range areas {
+			if a.Contains(topo.Coords[v]) {
+				s.mask.FailNode(graph.NodeID(v))
+				break
+			}
+		}
+	}
+	for i := 0; i < topo.G.NumLinks(); i++ {
+		id := graph.LinkID(i)
+		l := topo.G.Link(id)
+		if s.mask.NodeDown(l.A) || s.mask.NodeDown(l.B) {
+			s.mask.FailLink(id)
+			continue
+		}
+		seg := topo.LinkSegment(id)
+		for _, a := range areas {
+			if a.IntersectsSegment(seg) {
+				s.mask.FailLink(id)
+				break
+			}
+		}
+	}
+	return s
+}
+
+// NodeDown implements graph.Denied.
+func (s *Scenario) NodeDown(v graph.NodeID) bool { return s.mask.NodeDown(v) }
+
+// LinkDown implements graph.Denied.
+func (s *Scenario) LinkDown(id graph.LinkID) bool { return s.mask.LinkDown(id) }
+
+// Areas returns the failure areas.
+func (s *Scenario) Areas() []geom.Disk {
+	return append([]geom.Disk(nil), s.areas...)
+}
+
+// FailedNodes returns the failed nodes in ascending order.
+func (s *Scenario) FailedNodes() []graph.NodeID { return s.mask.DownNodes() }
+
+// FailedLinks returns the failed links in ascending order.
+func (s *Scenario) FailedLinks() []graph.LinkID { return s.mask.DownLinks() }
+
+// NumFailedNodes returns the number of failed nodes.
+func (s *Scenario) NumFailedNodes() int { return len(s.mask.DownNodes()) }
+
+// NumFailedLinks returns the number of failed links.
+func (s *Scenario) NumFailedLinks() int { return len(s.mask.DownLinks()) }
+
+// HasFailures reports whether anything failed at all.
+func (s *Scenario) HasFailures() bool {
+	return len(s.mask.DownLinks()) > 0 || len(s.mask.DownNodes()) > 0
+}
+
+// Unreachable reports whether, from endpoint v of link l, the neighbor
+// across l is unreachable: the link itself failed or the neighbor
+// failed. This is exactly what a live router can observe about l — it
+// cannot tell the two cases apart.
+func (s *Scenario) Unreachable(l graph.Link, v graph.NodeID) bool {
+	return s.LinkDown(l.ID) || s.NodeDown(l.Other(v))
+}
+
+// String implements fmt.Stringer.
+func (s *Scenario) String() string {
+	return fmt.Sprintf("scenario(%s: %d areas, %d nodes down, %d links down)",
+		s.Topo.Name, len(s.areas), s.NumFailedNodes(), s.NumFailedLinks())
+}
+
+// SingleLink returns a scenario in which exactly the given link fails
+// (no geometric area). It is used by the Theorem 3 experiments.
+func SingleLink(topo *topology.Topology, id graph.LinkID) *Scenario {
+	s := &Scenario{Topo: topo, mask: graph.NewMask(topo.G)}
+	s.mask.FailLink(id)
+	return s
+}
+
+// RandomArea draws a failure disk with center uniform in the
+// simulation area and radius uniform in [minR, maxR], matching the
+// paper's setup.
+func RandomArea(rng *rand.Rand, minR, maxR float64) geom.Disk {
+	return geom.Disk{
+		Center: geom.Point{X: rng.Float64() * topology.Width, Y: rng.Float64() * topology.Height},
+		Radius: minR + rng.Float64()*(maxR-minR),
+	}
+}
+
+// RandomScenario draws one random failure area with the paper's
+// default radius bounds and returns its scenario on topo.
+func RandomScenario(topo *topology.Topology, rng *rand.Rand) *Scenario {
+	return NewScenario(topo, RandomArea(rng, MinRadius, MaxRadius))
+}

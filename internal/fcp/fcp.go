@@ -1,0 +1,114 @@
+// Package fcp implements the Failure-Carrying Packets baseline
+// (Lakshminarayanan et al., SIGCOMM 2007) in the source-routing
+// version the paper compares against: packets carry the set of failed
+// links discovered so far; whenever the packet meets a failure not yet
+// recorded, the current router records it, recomputes a shortest path
+// to the destination in the pre-failure topology minus all carried
+// failures, and re-source-routes the packet. The packet is discarded
+// only when the current router's pruned view has no path left.
+package fcp
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/spt"
+	"repro/internal/topology"
+)
+
+// FCP is the baseline engine bound to one topology. It is stateless
+// apart from the immutable topology and safe for concurrent use.
+type FCP struct {
+	topo *topology.Topology
+}
+
+// New creates an FCP engine for topo.
+func New(topo *topology.Topology) *FCP {
+	return &FCP{topo: topo}
+}
+
+// Topology returns the engine's topology.
+func (f *FCP) Topology() *topology.Topology { return f.topo }
+
+// Result is the outcome of one FCP recovery attempt.
+type Result struct {
+	Delivered bool
+	// Walk is the packet trajectory from the recovery initiator, with
+	// per-hop header recording bytes (carried failed links plus the
+	// current source route).
+	Walk routing.Walk
+	// SPCalcs is the number of shortest path calculations performed —
+	// FCP recomputes at the initiator and at every newly met failure.
+	SPCalcs int
+	// Header is the final packet header (carried failures + last
+	// source route).
+	Header routing.Header
+	// DropAt is the node that discarded the packet (only meaningful
+	// when !Delivered): its pruned view had no path to the
+	// destination.
+	DropAt graph.NodeID
+}
+
+// maxRecomputes bounds the recovery loop defensively; each iteration
+// records at least one new failed link, so the true bound is the
+// number of failed links.
+func (f *FCP) maxRecomputes() int { return f.topo.G.NumLinks() + 2 }
+
+// Recover attempts delivery from the recovery initiator to dst under
+// the local view lv. The initiator already observes its own
+// unreachable neighbors and records them in the header before the
+// first computation (FCP packets carry failures the moment they are
+// known).
+func (f *FCP) Recover(lv *routing.LocalView, initiator, dst graph.NodeID) (Result, error) {
+	var res Result
+	if !lv.NodeAlive(initiator) {
+		return res, fmt.Errorf("fcp: initiator %d is down", initiator)
+	}
+	g := f.topo.G
+	res.Header.Mode = routing.ModeSource
+	res.Header.RecInit = initiator
+
+	cur := initiator
+	for iter := 0; iter < f.maxRecomputes(); iter++ {
+		// Record everything the current router can observe.
+		for _, id := range lv.UnreachableLinks(cur) {
+			res.Header.RecordFailedLink(id)
+		}
+
+		// Recompute a shortest path in the pruned view.
+		m := graph.NewMask(g)
+		for _, id := range res.Header.FailedLinks {
+			m.FailLink(id)
+		}
+		tree := spt.Compute(g, cur, m)
+		res.SPCalcs++
+		nodes, ok := tree.PathNodes(dst)
+		if !ok {
+			res.DropAt = cur
+			return res, nil
+		}
+		links, _ := tree.PathLinks(dst)
+		res.Header.SourceRoute = append([]graph.NodeID(nil), nodes...)
+		res.Header.SourceIdx = 0
+		bytes := res.Header.RecordingBytes()
+
+		// Source-route until delivered or blocked.
+		blocked := false
+		for i := 0; i+1 < len(nodes); i++ {
+			if lv.NeighborUnreachable(nodes[i], links[i]) {
+				cur = nodes[i]
+				blocked = true
+				break
+			}
+			res.Header.SourceIdx = i + 1
+			res.Walk.Append(routing.HopRecord{From: nodes[i], To: nodes[i+1], Link: links[i], HeaderBytes: bytes})
+		}
+		if !blocked {
+			res.Delivered = true
+			return res, nil
+		}
+	}
+	res.DropAt = cur
+	return res, fmt.Errorf("fcp: recompute bound exceeded at node %d", cur)
+}

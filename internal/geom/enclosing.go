@@ -1,0 +1,90 @@
+package geom
+
+// SmallestEnclosingDisk returns the minimum-radius disk containing all
+// the given points, using Welzl's randomized incremental algorithm in
+// its deterministic (move-to-front) form. The empty set yields a zero
+// disk; one point yields a zero-radius disk at that point.
+//
+// RTR's failure-area estimator uses this to turn collected failed
+// links into a geometric estimate of the failure region.
+func SmallestEnclosingDisk(points []Point) Disk {
+	switch len(points) {
+	case 0:
+		return Disk{}
+	case 1:
+		return Disk{Center: points[0]}
+	}
+	pts := append([]Point(nil), points...)
+	return welzl(pts, nil)
+}
+
+// welzl computes the minimum disk over pts with the boundary points in
+// support (|support| <= 3).
+func welzl(pts []Point, support []Point) Disk {
+	if len(pts) == 0 || len(support) == 3 {
+		return trivialDisk(support)
+	}
+	p := pts[len(pts)-1]
+	d := welzl(pts[:len(pts)-1], support)
+	if diskContainsClosed(d, p) {
+		return d
+	}
+	return welzl(pts[:len(pts)-1], append(support, p))
+}
+
+// diskContainsClosed reports closed-disk membership with tolerance.
+func diskContainsClosed(d Disk, p Point) bool {
+	return d.Center.Dist(p) <= d.Radius+1e-7
+}
+
+// trivialDisk returns the smallest disk with the given 0..3 boundary
+// points.
+func trivialDisk(support []Point) Disk {
+	switch len(support) {
+	case 0:
+		return Disk{}
+	case 1:
+		return Disk{Center: support[0]}
+	case 2:
+		return diskFrom2(support[0], support[1])
+	default:
+		// Degenerate (collinear or coincident) triples fall back to
+		// the best two-point disk.
+		d := circumdisk(support[0], support[1], support[2])
+		if d.Radius > 0 {
+			return d
+		}
+		best := diskFrom2(support[0], support[1])
+		for _, cand := range []Disk{
+			diskFrom2(support[0], support[2]),
+			diskFrom2(support[1], support[2]),
+		} {
+			if cand.Radius > best.Radius {
+				best = cand
+			}
+		}
+		return best
+	}
+}
+
+func diskFrom2(a, b Point) Disk {
+	c := Point{(a.X + b.X) / 2, (a.Y + b.Y) / 2}
+	return Disk{Center: c, Radius: c.Dist(a)}
+}
+
+// circumdisk returns the disk through three points, or a zero disk
+// when they are (nearly) collinear.
+func circumdisk(a, b, c Point) Disk {
+	ab := b.Sub(a)
+	ac := c.Sub(a)
+	d := 2 * ab.Cross(ac)
+	if d > -Eps && d < Eps {
+		return Disk{}
+	}
+	abLen2 := ab.Dot(ab)
+	acLen2 := ac.Dot(ac)
+	ux := (ac.Y*abLen2 - ab.Y*acLen2) / d
+	uy := (ab.X*acLen2 - ac.X*abLen2) / d
+	center := Point{a.X + ux, a.Y + uy}
+	return Disk{Center: center, Radius: center.Dist(a)}
+}

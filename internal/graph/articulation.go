@@ -1,0 +1,91 @@
+package graph
+
+// ArticulationPoints returns the cut vertices of the live subgraph
+// under d: the live nodes whose removal would increase the number of
+// connected components among the remaining live nodes. Implemented
+// with Tarjan's low-link algorithm (iterative, so deep topologies
+// cannot overflow the stack).
+//
+// MRC uses this to identify the nodes no backup configuration can
+// isolate; their failure partitions the network and defeats every
+// recovery scheme.
+func (g *Graph) ArticulationPoints(d Denied) []NodeID {
+	n := g.n
+	disc := make([]int, n) // discovery index, 0 = unvisited
+	low := make([]int, n)  // low-link value
+	isArt := make([]bool, n)
+	timer := 0
+
+	type frame struct {
+		v NodeID
+		// parentLink is the tree edge into v (-1 for roots); comparing
+		// links rather than nodes keeps parallel links correct: a
+		// second link back to the parent is a genuine back edge.
+		parentLink int32
+		parent     int32 // parent node, -1 for roots
+		childIdx   int   // next adjacency index to examine
+		children   int   // tree children found so far (for the root rule)
+	}
+
+	for start := 0; start < n; start++ {
+		root := NodeID(start)
+		if disc[root] != 0 || d.NodeDown(root) {
+			continue
+		}
+		timer++
+		disc[root] = timer
+		low[root] = timer
+		stack := []frame{{v: root, parentLink: -1, parent: -1}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			adj := g.adj[f.v]
+			advanced := false
+			for f.childIdx < len(adj) {
+				he := adj[f.childIdx]
+				f.childIdx++
+				w := he.Neighbor
+				if d.LinkDown(he.Link) || d.NodeDown(w) {
+					continue
+				}
+				if disc[w] == 0 {
+					// Tree edge: descend.
+					f.children++
+					timer++
+					disc[w] = timer
+					low[w] = timer
+					stack = append(stack, frame{v: w, parentLink: int32(he.Link), parent: int32(f.v)})
+					advanced = true
+					break
+				}
+				if int32(he.Link) != f.parentLink && disc[w] < low[f.v] {
+					low[f.v] = disc[w] // back edge (or parallel link to the parent)
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f is finished; propagate its low-link to the parent.
+			done := *f
+			stack = stack[:len(stack)-1]
+			if done.parent >= 0 {
+				p := &stack[len(stack)-1]
+				if low[done.v] < low[p.v] {
+					low[p.v] = low[done.v]
+				}
+				if low[done.v] >= disc[p.v] && p.parent >= 0 {
+					isArt[p.v] = true
+				}
+			} else if done.children >= 2 {
+				isArt[done.v] = true // root with two or more tree children
+			}
+		}
+	}
+
+	var out []NodeID
+	for v := 0; v < n; v++ {
+		if isArt[v] {
+			out = append(out, NodeID(v))
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteArticulation finds cut vertices by definition: v is a cut
+// vertex iff removing it increases the component count among the
+// remaining live nodes (removing a node that was alone in its
+// component decreases the count instead and is never a cut vertex).
+func bruteArticulation(g *Graph, d Denied) map[NodeID]bool {
+	baseline := len(g.Components(d))
+	out := make(map[NodeID]bool)
+	for v := 0; v < g.NumNodes(); v++ {
+		id := NodeID(v)
+		if d.NodeDown(id) {
+			continue
+		}
+		m := NewMask(g)
+		for u := 0; u < g.NumNodes(); u++ {
+			if d.NodeDown(NodeID(u)) {
+				m.FailNode(NodeID(u))
+			}
+		}
+		for l := 0; l < g.NumLinks(); l++ {
+			if d.LinkDown(LinkID(l)) {
+				m.FailLink(LinkID(l))
+			}
+		}
+		m.FailNode(id)
+		if len(g.Components(m)) > baseline {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+func TestArticulationLine(t *testing.T) {
+	g := line(5) // 0-1-2-3-4: every interior node is a cut vertex
+	got := g.ArticulationPoints(Nothing)
+	want := []NodeID{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("articulation points = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("articulation points = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestArticulationCycle(t *testing.T) {
+	g := New(4)
+	g.MustAddLink(0, 1)
+	g.MustAddLink(1, 2)
+	g.MustAddLink(2, 3)
+	g.MustAddLink(3, 0)
+	if got := g.ArticulationPoints(Nothing); len(got) != 0 {
+		t.Errorf("a cycle has no cut vertices, got %v", got)
+	}
+}
+
+func TestArticulationBridgeBetweenCycles(t *testing.T) {
+	// Two triangles joined by a bridge 2-3: nodes 2 and 3 are cut.
+	g := New(6)
+	g.MustAddLink(0, 1)
+	g.MustAddLink(1, 2)
+	g.MustAddLink(2, 0)
+	g.MustAddLink(3, 4)
+	g.MustAddLink(4, 5)
+	g.MustAddLink(5, 3)
+	g.MustAddLink(2, 3)
+	got := g.ArticulationPoints(Nothing)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("articulation points = %v, want [2 3]", got)
+	}
+}
+
+func TestArticulationParallelLinks(t *testing.T) {
+	// 0=1-2: parallel links between 0 and 1 mean node 1 is still a cut
+	// vertex (for node 2), but losing one parallel link never matters.
+	g := New(3)
+	g.MustAddLink(0, 1)
+	g.MustAddLink(0, 1)
+	g.MustAddLink(1, 2)
+	got := g.ArticulationPoints(Nothing)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("articulation points = %v, want [1]", got)
+	}
+	// A triangle with a doubled edge has none.
+	g2 := New(3)
+	g2.MustAddLink(0, 1)
+	g2.MustAddLink(0, 1)
+	g2.MustAddLink(1, 2)
+	g2.MustAddLink(2, 0)
+	if got := g2.ArticulationPoints(Nothing); len(got) != 0 {
+		t.Errorf("doubled triangle has no cut vertices, got %v", got)
+	}
+}
+
+func TestArticulationUnderFailures(t *testing.T) {
+	// A cycle with a failed link degenerates to a path: interior nodes
+	// of the path become cut vertices.
+	g := New(4)
+	l01 := g.MustAddLink(0, 1)
+	g.MustAddLink(1, 2)
+	g.MustAddLink(2, 3)
+	g.MustAddLink(3, 0)
+	m := NewMask(g)
+	m.FailLink(l01)
+	got := g.ArticulationPoints(m)
+	// Path 1-2-3-0: cut vertices 2 and 3.
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Errorf("articulation points = %v, want [2 3]", got)
+	}
+}
+
+func TestArticulationMatchesBruteForceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	f := func() bool {
+		n := 2 + rng.Intn(16)
+		g := New(n)
+		for i := 0; i < n+rng.Intn(2*n); i++ {
+			a := NodeID(rng.Intn(n))
+			b := NodeID(rng.Intn(n))
+			if a != b {
+				g.MustAddLink(a, b)
+			}
+		}
+		m := NewMask(g)
+		for v := 0; v < n; v++ {
+			if rng.Float64() < 0.15 {
+				m.FailNode(NodeID(v))
+			}
+		}
+		for l := 0; l < g.NumLinks(); l++ {
+			if rng.Float64() < 0.15 {
+				m.FailLink(LinkID(l))
+			}
+		}
+		want := bruteArticulation(g, m)
+		got := g.ArticulationPoints(m)
+		if len(got) != len(want) {
+			return false
+		}
+		for _, v := range got {
+			if !want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,85 @@
+package graph
+
+// Reachable returns the set of nodes reachable from src under the
+// failure overlay d, as a boolean table indexed by NodeID. If src
+// itself is down the result is all-false.
+func (g *Graph) Reachable(src NodeID, d Denied) []bool {
+	seen := make([]bool, g.n)
+	if d.NodeDown(src) {
+		return seen
+	}
+	stack := make([]NodeID, 0, g.n)
+	stack = append(stack, src)
+	seen[src] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, h := range g.adj[v] {
+			if seen[h.Neighbor] || d.LinkDown(h.Link) || d.NodeDown(h.Neighbor) {
+				continue
+			}
+			seen[h.Neighbor] = true
+			stack = append(stack, h.Neighbor)
+		}
+	}
+	return seen
+}
+
+// Connected reports whether t is reachable from s under d.
+func (g *Graph) Connected(s, t NodeID, d Denied) bool {
+	if d.NodeDown(s) || d.NodeDown(t) {
+		return false
+	}
+	if s == t {
+		return true
+	}
+	return g.Reachable(s, d)[t]
+}
+
+// ConnectedAll reports whether all live nodes form a single connected
+// component under d. A graph whose live part is empty is connected.
+func (g *Graph) ConnectedAll(d Denied) bool {
+	var first NodeID
+	found := false
+	for v := 0; v < g.n; v++ {
+		if !d.NodeDown(NodeID(v)) {
+			first = NodeID(v)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return true
+	}
+	seen := g.Reachable(first, d)
+	for v := 0; v < g.n; v++ {
+		if !d.NodeDown(NodeID(v)) && !seen[v] {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components of the live subgraph
+// under d, each as an ascending list of node IDs. Failed nodes belong
+// to no component.
+func (g *Graph) Components(d Denied) [][]NodeID {
+	var comps [][]NodeID
+	assigned := make([]bool, g.n)
+	for v := 0; v < g.n; v++ {
+		id := NodeID(v)
+		if assigned[v] || d.NodeDown(id) {
+			continue
+		}
+		seen := g.Reachable(id, d)
+		var comp []NodeID
+		for u := 0; u < g.n; u++ {
+			if seen[u] {
+				assigned[u] = true
+				comp = append(comp, NodeID(u))
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}

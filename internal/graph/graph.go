@@ -1,0 +1,223 @@
+// Package graph implements the undirected network graph substrate used
+// throughout the repository: routers are nodes, links are undirected
+// edges with stable 16-bit identifiers and (possibly asymmetric)
+// per-direction costs, as in the paper's network model.
+//
+// The graph is append-only: links are added during construction and
+// never removed. Failures are expressed as overlays (see Denied and
+// Mask) so that many failure scenarios can share one immutable graph.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a router. The paper encodes identifiers in 16 bits;
+// all Rocketfuel-scale topologies fit comfortably.
+type NodeID uint16
+
+// LinkID identifies an undirected link. The paper's packet header
+// represents link IDs in 16 bits.
+type LinkID uint16
+
+// MaxNodes is the maximum number of nodes a Graph can hold.
+const MaxNodes = math.MaxUint16
+
+// MaxLinks is the maximum number of links a Graph can hold.
+const MaxLinks = math.MaxUint16
+
+// Link is an undirected link between routers A and B. CostAB is the
+// cost of traversing the link from A to B and CostBA the reverse cost;
+// the two may differ (asymmetric links).
+type Link struct {
+	ID     LinkID
+	A, B   NodeID
+	CostAB float64
+	CostBA float64
+}
+
+// Other returns the endpoint of the link opposite to v.
+// It panics if v is not an endpoint.
+func (l Link) Other(v NodeID) NodeID {
+	switch v {
+	case l.A:
+		return l.B
+	case l.B:
+		return l.A
+	default:
+		panic(fmt.Sprintf("graph: node %d is not an endpoint of link %d (%d-%d)", v, l.ID, l.A, l.B))
+	}
+}
+
+// CostFrom returns the cost of traversing the link starting at
+// endpoint v. It panics if v is not an endpoint.
+func (l Link) CostFrom(v NodeID) float64 {
+	switch v {
+	case l.A:
+		return l.CostAB
+	case l.B:
+		return l.CostBA
+	default:
+		panic(fmt.Sprintf("graph: node %d is not an endpoint of link %d (%d-%d)", v, l.ID, l.A, l.B))
+	}
+}
+
+// HasEndpoint reports whether v is one of the link's endpoints.
+func (l Link) HasEndpoint(v NodeID) bool { return l.A == v || l.B == v }
+
+// String implements fmt.Stringer.
+func (l Link) String() string {
+	return fmt.Sprintf("e%d(%d-%d)", l.ID, l.A, l.B)
+}
+
+// Halfedge is a link viewed from one of its endpoints, as stored in
+// adjacency lists: the neighbor it leads to and the cost in that
+// direction.
+type Halfedge struct {
+	Link     LinkID
+	Neighbor NodeID
+	Cost     float64
+}
+
+// Graph is an immutable-after-construction undirected graph.
+// The zero value is an empty graph with no nodes; use New.
+type Graph struct {
+	n     int
+	links []Link
+	adj   [][]Halfedge
+}
+
+// Errors returned by graph construction.
+var (
+	ErrNodeOutOfRange = errors.New("graph: node out of range")
+	ErrSelfLoop       = errors.New("graph: self loops are not allowed")
+	ErrTooManyLinks   = errors.New("graph: too many links")
+	ErrBadCost        = errors.New("graph: link cost must be positive and finite")
+)
+
+// New returns an empty graph with n nodes and no links.
+// It panics if n is negative or exceeds MaxNodes.
+func New(n int) *Graph {
+	if n < 0 || n > MaxNodes {
+		panic(fmt.Sprintf("graph: invalid node count %d", n))
+	}
+	return &Graph{
+		n:   n,
+		adj: make([][]Halfedge, n),
+	}
+}
+
+// AddLink adds an undirected link between a and b with unit cost in
+// both directions and returns its ID.
+func (g *Graph) AddLink(a, b NodeID) (LinkID, error) {
+	return g.AddLinkCost(a, b, 1, 1)
+}
+
+// AddLinkCost adds an undirected link between a and b with the given
+// per-direction costs and returns its ID. Parallel links are allowed
+// (the graph is a multigraph), self loops are not.
+func (g *Graph) AddLinkCost(a, b NodeID, costAB, costBA float64) (LinkID, error) {
+	if int(a) >= g.n || int(b) >= g.n {
+		return 0, fmt.Errorf("%w: (%d,%d) with %d nodes", ErrNodeOutOfRange, a, b, g.n)
+	}
+	if a == b {
+		return 0, fmt.Errorf("%w: node %d", ErrSelfLoop, a)
+	}
+	if !validCost(costAB) || !validCost(costBA) {
+		return 0, fmt.Errorf("%w: (%g,%g)", ErrBadCost, costAB, costBA)
+	}
+	if len(g.links) >= MaxLinks {
+		return 0, ErrTooManyLinks
+	}
+	id := LinkID(len(g.links))
+	g.links = append(g.links, Link{ID: id, A: a, B: b, CostAB: costAB, CostBA: costBA})
+	g.adj[a] = append(g.adj[a], Halfedge{Link: id, Neighbor: b, Cost: costAB})
+	g.adj[b] = append(g.adj[b], Halfedge{Link: id, Neighbor: a, Cost: costBA})
+	return id, nil
+}
+
+// MustAddLink is AddLink that panics on error; intended for fixtures
+// and generators whose inputs are known valid.
+func (g *Graph) MustAddLink(a, b NodeID) LinkID {
+	id, err := g.AddLink(a, b)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+func validCost(c float64) bool {
+	return c > 0 && !math.IsInf(c, 0) && !math.IsNaN(c)
+}
+
+// NumNodes returns the number of nodes.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumLinks returns the number of links.
+func (g *Graph) NumLinks() int { return len(g.links) }
+
+// Link returns the link with the given ID.
+// It panics if the ID is out of range.
+func (g *Graph) Link(id LinkID) Link {
+	return g.links[id]
+}
+
+// Links returns a copy of the link table.
+func (g *Graph) Links() []Link {
+	out := make([]Link, len(g.links))
+	copy(out, g.links)
+	return out
+}
+
+// Adj returns the adjacency list of v. The returned slice is shared
+// with the graph and must not be modified.
+func (g *Graph) Adj(v NodeID) []Halfedge {
+	return g.adj[v]
+}
+
+// Degree returns the number of incident links of v.
+func (g *Graph) Degree(v NodeID) int { return len(g.adj[v]) }
+
+// Neighbors returns the neighbors of v in adjacency order. Parallel
+// links yield repeated neighbors.
+func (g *Graph) Neighbors(v NodeID) []NodeID {
+	out := make([]NodeID, 0, len(g.adj[v]))
+	for _, h := range g.adj[v] {
+		out = append(out, h.Neighbor)
+	}
+	return out
+}
+
+// LinkBetween returns the ID of a link between a and b, if any exists.
+// With parallel links, the first added wins.
+func (g *Graph) LinkBetween(a, b NodeID) (LinkID, bool) {
+	if int(a) >= g.n {
+		return 0, false
+	}
+	for _, h := range g.adj[a] {
+		if h.Neighbor == b {
+			return h.Link, true
+		}
+	}
+	return 0, false
+}
+
+// HasLink reports whether a link between a and b exists.
+func (g *Graph) HasLink(a, b NodeID) bool {
+	_, ok := g.LinkBetween(a, b)
+	return ok
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New(g.n)
+	c.links = make([]Link, len(g.links))
+	copy(c.links, g.links)
+	for v := range g.adj {
+		c.adj[v] = make([]Halfedge, len(g.adj[v]))
+		copy(c.adj[v], g.adj[v])
+	}
+	return c
+}

@@ -1,0 +1,143 @@
+// Package report renders experiment results as CSV files so the
+// paper's figures can be re-plotted with any tool. Each writer emits a
+// header row followed by data rows; all values are plain decimal.
+package report
+
+import (
+	"encoding/csv"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// WriteCDF emits a CDF as (value, fraction) step points.
+func WriteCDF(w io.Writer, valueName string, c *stats.CDF) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{valueName, "cdf"}); err != nil {
+		return err
+	}
+	for _, p := range c.Points() {
+		if err := cw.Write([]string{ftoa(p[0]), ftoa(p[1])}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCDFPair emits two CDFs (typically RTR and FCP) side by side as
+// long-format rows: series,value,cdf.
+func WriteCDFPair(w io.Writer, valueName string, names [2]string, cdfs [2]*stats.CDF) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"series", valueName, "cdf"}); err != nil {
+		return err
+	}
+	for i, c := range cdfs {
+		for _, p := range c.Points() {
+			if err := cw.Write([]string{names[i], ftoa(p[0]), ftoa(p[1])}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTimeSeries emits Fig. 10's time series as (ms, rtr, fcp) rows.
+func WriteTimeSeries(w io.Writer, pts []sim.TimePoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_ms", "rtr_bytes", "fcp_bytes"}); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		row := []string{
+			ftoa(float64(p.T) / float64(time.Millisecond)),
+			ftoa(p.RTRBytes),
+			ftoa(p.FCPBytes),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable3 emits Table III rows.
+func WriteTable3(w io.Writer, rows []sim.Table3Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"as",
+		"rtr_recovery", "fcp_recovery", "mrc_recovery",
+		"rtr_optimal", "fcp_optimal", "mrc_optimal",
+		"rtr_max_stretch", "fcp_max_stretch", "mrc_max_stretch",
+		"rtr_max_calcs", "fcp_max_calcs",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		row := []string{
+			r.AS,
+			ftoa(r.RTRRecovery), ftoa(r.FCPRecovery), ftoa(r.MRCRecovery),
+			ftoa(r.RTROptimal), ftoa(r.FCPOptimal), ftoa(r.MRCOptimal),
+			ftoa(r.RTRMaxStretch), ftoa(r.FCPMaxStretch), ftoa(r.MRCMaxStretch),
+			strconv.Itoa(r.RTRMaxCalcs), strconv.Itoa(r.FCPMaxCalcs),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable4 emits Table IV rows.
+func WriteTable4(w io.Writer, rows []sim.Table4Row) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"as",
+		"rtr_avg_comp", "fcp_avg_comp", "rtr_max_comp", "fcp_max_comp",
+		"rtr_avg_trans", "fcp_avg_trans", "rtr_max_trans", "fcp_max_trans",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		row := []string{
+			r.AS,
+			ftoa(r.RTRAvgComp), ftoa(r.FCPAvgComp), ftoa(r.RTRMaxComp), ftoa(r.FCPMaxComp),
+			ftoa(r.RTRAvgTrans), ftoa(r.FCPAvgTrans), ftoa(r.RTRMaxTrans), ftoa(r.FCPMaxTrans),
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig11 emits the radius sweep as long-format rows.
+func WriteFig11(w io.Writer, series map[string][]sim.Fig11Point) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"as", "radius", "irrecoverable_pct", "failed_paths"}); err != nil {
+		return err
+	}
+	for as, pts := range series {
+		for _, p := range pts {
+			row := []string{as, ftoa(p.Radius), ftoa(p.Percent), strconv.Itoa(p.Failed)}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func ftoa(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

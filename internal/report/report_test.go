@@ -1,0 +1,121 @@
+package report
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func parse(t *testing.T, out string) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v\n%s", err, out)
+	}
+	return rows
+}
+
+func TestWriteCDF(t *testing.T) {
+	var b strings.Builder
+	c := stats.NewCDF([]float64{1, 1, 2})
+	if err := WriteCDF(&b, "stretch", c); err != nil {
+		t.Fatal(err)
+	}
+	rows := parse(t, b.String())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[0][0] != "stretch" || rows[0][1] != "cdf" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][0] != "1" || rows[1][1] != "0.6666666666666666" {
+		t.Errorf("first point = %v", rows[1])
+	}
+	if rows[2][0] != "2" || rows[2][1] != "1" {
+		t.Errorf("second point = %v", rows[2])
+	}
+}
+
+func TestWriteCDFPair(t *testing.T) {
+	var b strings.Builder
+	a := stats.NewCDF([]float64{1})
+	c := stats.NewCDF([]float64{2, 3})
+	if err := WriteCDFPair(&b, "calcs", [2]string{"RTR", "FCP"}, [2]*stats.CDF{a, c}); err != nil {
+		t.Fatal(err)
+	}
+	rows := parse(t, b.String())
+	if len(rows) != 4 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[1][0] != "RTR" || rows[2][0] != "FCP" || rows[3][0] != "FCP" {
+		t.Errorf("series column wrong: %v", rows)
+	}
+}
+
+func TestWriteTimeSeries(t *testing.T) {
+	var b strings.Builder
+	pts := []sim.TimePoint{
+		{T: 0, RTRBytes: 4, FCPBytes: 12},
+		{T: 10 * time.Millisecond, RTRBytes: 8.5, FCPBytes: 13},
+	}
+	if err := WriteTimeSeries(&b, pts); err != nil {
+		t.Fatal(err)
+	}
+	rows := parse(t, b.String())
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[2][0] != "10" || rows[2][1] != "8.5" {
+		t.Errorf("second point = %v", rows[2])
+	}
+}
+
+func TestWriteTable3(t *testing.T) {
+	var b strings.Builder
+	rows := []sim.Table3Row{{
+		AS: "AS209", RTRRecovery: 95.4, FCPRecovery: 100, MRCRecovery: 45.3,
+		RTROptimal: 95.4, FCPOptimal: 84.5, MRCOptimal: 38.9,
+		RTRMaxStretch: 1, FCPMaxStretch: 4, MRCMaxStretch: 2,
+		RTRMaxCalcs: 1, FCPMaxCalcs: 8,
+	}}
+	if err := WriteTable3(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := parse(t, b.String())
+	if len(got) != 2 || got[1][0] != "AS209" || got[1][11] != "8" {
+		t.Errorf("table = %v", got)
+	}
+}
+
+func TestWriteTable4(t *testing.T) {
+	var b strings.Builder
+	rows := []sim.Table4Row{{
+		AS: "AS209", RTRAvgComp: 1, FCPAvgComp: 5.5, RTRMaxComp: 1, FCPMaxComp: 19,
+		RTRAvgTrans: 1524.2, FCPAvgTrans: 9815.4, RTRMaxTrans: 7140, FCPMaxTrans: 41652,
+	}}
+	if err := WriteTable4(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	got := parse(t, b.String())
+	if len(got) != 2 || got[1][0] != "AS209" || got[1][8] != "41652" {
+		t.Errorf("table = %v", got)
+	}
+}
+
+func TestWriteFig11(t *testing.T) {
+	var b strings.Builder
+	series := map[string][]sim.Fig11Point{
+		"AS209": {{Radius: 20, Percent: 15.4, Failed: 100}},
+	}
+	if err := WriteFig11(&b, series); err != nil {
+		t.Fatal(err)
+	}
+	got := parse(t, b.String())
+	if len(got) != 2 || got[1][0] != "AS209" || got[1][3] != "100" {
+		t.Errorf("fig11 = %v", got)
+	}
+}

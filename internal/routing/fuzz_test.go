@@ -1,0 +1,77 @@
+package routing
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestDecodeHeaderRandomBytes hammers the wire decoder with random
+// buffers: it must never panic, and whatever it accepts must re-encode
+// to the same bytes it consumed (decode/encode idempotence).
+func TestDecodeHeaderRandomBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 20000; i++ {
+		n := rng.Intn(64)
+		buf := make([]byte, n)
+		for j := range buf {
+			buf[j] = byte(rng.Intn(256))
+		}
+		h, used, err := DecodeHeader(buf)
+		if err != nil {
+			continue
+		}
+		re, err := h.AppendBinary(nil)
+		if err != nil {
+			t.Fatalf("decoded header failed to re-encode: %+v: %v", h, err)
+		}
+		if len(re) != used {
+			t.Fatalf("re-encoded %d bytes, decoder consumed %d (header %+v)", len(re), used, h)
+		}
+		for j := range re {
+			if re[j] != buf[j] {
+				t.Fatalf("byte %d differs after round trip: %x vs %x", j, re[j], buf[j])
+			}
+		}
+	}
+}
+
+// TestDecodeHeaderMutatedValid flips bytes of valid encodings: the
+// decoder must stay panic-free and either reject or produce a header
+// that re-encodes consistently.
+func TestDecodeHeaderMutatedValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	base := Header{
+		Mode:        ModeCollect,
+		RecInit:     9,
+		FailedLinks: randLinkIDs(rng, 6),
+		CrossLinks:  randLinkIDs(rng, 2),
+	}
+	enc, err := base.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		buf := append([]byte(nil), enc...)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			buf[rng.Intn(len(buf))] = byte(rng.Intn(256))
+		}
+		h, used, err := DecodeHeader(buf)
+		if err != nil {
+			continue
+		}
+		re, err := h.AppendBinary(nil)
+		if err != nil || len(re) != used {
+			t.Fatalf("inconsistent accept of mutated header: %+v (err %v)", h, err)
+		}
+	}
+}
+
+func randLinkIDs(rng *rand.Rand, n int) []graph.LinkID {
+	out := make([]graph.LinkID, n)
+	for i := range out {
+		out[i] = graph.LinkID(rng.Intn(1 << 16))
+	}
+	return out
+}

@@ -1,0 +1,264 @@
+// Package routing provides the packet and forwarding substrate shared
+// by RTR and the baselines: the recovery packet header with its binary
+// wire codec (the paper's mode / rec_init / failed_link / cross_link
+// fields plus the source route), link-state routing tables, the
+// restricted per-node failure view, and hop/delay accounting.
+package routing
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// Mode is the forwarding mode carried in the packet header.
+type Mode uint8
+
+const (
+	// ModeDefault marks a packet forwarded by the default link-state
+	// routing protocol (header mode 0 in the paper).
+	ModeDefault Mode = iota
+	// ModeCollect marks a packet forwarded by RTR's first phase
+	// (header mode 1 in the paper).
+	ModeCollect
+	// ModeSource marks a packet forwarded along a source route (RTR's
+	// second phase, and FCP's source-routing variant).
+	ModeSource
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeDefault:
+		return "default"
+	case ModeCollect:
+		return "collect"
+	case ModeSource:
+		return "source"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Header is the recovery header carried by packets during IGP
+// convergence. Link and node IDs occupy 16 bits on the wire, exactly
+// as the paper specifies.
+type Header struct {
+	Mode    Mode
+	RecInit graph.NodeID
+	// FailedLinks is the failed_link field: IDs of failed links
+	// recorded by routers adjacent to the failure area.
+	FailedLinks []graph.LinkID
+	// CrossLinks is the cross_link field: links whose crossers are
+	// excluded from next-hop selection (Constraints 1 and 2).
+	CrossLinks []graph.LinkID
+	// SourceRoute is the remaining source route (node IDs), used in
+	// ModeSource. SourceIdx points at the next node to visit.
+	SourceRoute []graph.NodeID
+	SourceIdx   int
+}
+
+// HasFailedLink reports whether id is already recorded in failed_link.
+func (h *Header) HasFailedLink(id graph.LinkID) bool {
+	for _, f := range h.FailedLinks {
+		if f == id {
+			return true
+		}
+	}
+	return false
+}
+
+// RecordFailedLink appends id to failed_link unless already present.
+// It reports whether the header changed.
+func (h *Header) RecordFailedLink(id graph.LinkID) bool {
+	if h.HasFailedLink(id) {
+		return false
+	}
+	h.FailedLinks = append(h.FailedLinks, id)
+	return true
+}
+
+// HasCrossLink reports whether id is already recorded in cross_link.
+func (h *Header) HasCrossLink(id graph.LinkID) bool {
+	for _, c := range h.CrossLinks {
+		if c == id {
+			return true
+		}
+	}
+	return false
+}
+
+// RecordCrossLink appends id to cross_link unless already present.
+// It reports whether the header changed.
+func (h *Header) RecordCrossLink(id graph.LinkID) bool {
+	if h.HasCrossLink(id) {
+		return false
+	}
+	h.CrossLinks = append(h.CrossLinks, id)
+	return true
+}
+
+// RecordingBytes is the number of bytes the header spends on recording
+// recovery information — the paper's transmission-overhead metric.
+// Each recorded link ID and each source-route entry is 16 bits.
+func (h *Header) RecordingBytes() int {
+	return 2 * (len(h.FailedLinks) + len(h.CrossLinks) + len(h.SourceRoute))
+}
+
+// EncodedSize is the exact number of bytes AppendBinary emits.
+func (h *Header) EncodedSize() int {
+	return 1 + 2 + 2 + 2*len(h.FailedLinks) + 2 + 2*len(h.CrossLinks) + 2 + 2 + 2*len(h.SourceRoute)
+}
+
+// Wire format (big endian):
+//
+//	mode     uint8
+//	rec_init uint16
+//	nFailed  uint16, then nFailed x uint16
+//	nCross   uint16, then nCross x uint16
+//	nRoute   uint16, srcIdx uint16, then nRoute x uint16
+
+// AppendBinary appends the wire encoding of h to b.
+func (h *Header) AppendBinary(b []byte) ([]byte, error) {
+	if len(h.FailedLinks) > 0xFFFF || len(h.CrossLinks) > 0xFFFF || len(h.SourceRoute) > 0xFFFF {
+		return nil, errors.New("routing: header field too long to encode")
+	}
+	if h.SourceIdx < 0 || h.SourceIdx > len(h.SourceRoute) {
+		return nil, fmt.Errorf("routing: source index %d out of range [0,%d]", h.SourceIdx, len(h.SourceRoute))
+	}
+	b = append(b, byte(h.Mode))
+	b = binary.BigEndian.AppendUint16(b, uint16(h.RecInit))
+	b = binary.BigEndian.AppendUint16(b, uint16(len(h.FailedLinks)))
+	for _, id := range h.FailedLinks {
+		b = binary.BigEndian.AppendUint16(b, uint16(id))
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(h.CrossLinks)))
+	for _, id := range h.CrossLinks {
+		b = binary.BigEndian.AppendUint16(b, uint16(id))
+	}
+	b = binary.BigEndian.AppendUint16(b, uint16(len(h.SourceRoute)))
+	b = binary.BigEndian.AppendUint16(b, uint16(h.SourceIdx))
+	for _, id := range h.SourceRoute {
+		b = binary.BigEndian.AppendUint16(b, uint16(id))
+	}
+	return b, nil
+}
+
+// ErrShortHeader is returned when a header buffer is truncated.
+var ErrShortHeader = errors.New("routing: short header")
+
+// DecodeHeader parses a header from b and returns it together with the
+// number of bytes consumed.
+func DecodeHeader(b []byte) (Header, int, error) {
+	var h Header
+	off := 0
+	u8 := func() (byte, error) {
+		if off+1 > len(b) {
+			return 0, ErrShortHeader
+		}
+		v := b[off]
+		off++
+		return v, nil
+	}
+	u16 := func() (uint16, error) {
+		if off+2 > len(b) {
+			return 0, ErrShortHeader
+		}
+		v := binary.BigEndian.Uint16(b[off:])
+		off += 2
+		return v, nil
+	}
+
+	m, err := u8()
+	if err != nil {
+		return h, 0, err
+	}
+	if m > uint8(ModeSource) {
+		return h, 0, fmt.Errorf("routing: invalid mode %d", m)
+	}
+	h.Mode = Mode(m)
+	ri, err := u16()
+	if err != nil {
+		return h, 0, err
+	}
+	h.RecInit = graph.NodeID(ri)
+
+	nf, err := u16()
+	if err != nil {
+		return h, 0, err
+	}
+	if nf > 0 {
+		h.FailedLinks = make([]graph.LinkID, nf)
+		for i := range h.FailedLinks {
+			v, err := u16()
+			if err != nil {
+				return h, 0, err
+			}
+			h.FailedLinks[i] = graph.LinkID(v)
+		}
+	}
+
+	nc, err := u16()
+	if err != nil {
+		return h, 0, err
+	}
+	if nc > 0 {
+		h.CrossLinks = make([]graph.LinkID, nc)
+		for i := range h.CrossLinks {
+			v, err := u16()
+			if err != nil {
+				return h, 0, err
+			}
+			h.CrossLinks[i] = graph.LinkID(v)
+		}
+	}
+
+	nr, err := u16()
+	if err != nil {
+		return h, 0, err
+	}
+	si, err := u16()
+	if err != nil {
+		return h, 0, err
+	}
+	if int(si) > int(nr) {
+		return h, 0, fmt.Errorf("routing: source index %d beyond route length %d", si, nr)
+	}
+	h.SourceIdx = int(si)
+	if nr > 0 {
+		h.SourceRoute = make([]graph.NodeID, nr)
+		for i := range h.SourceRoute {
+			v, err := u16()
+			if err != nil {
+				return h, 0, err
+			}
+			h.SourceRoute[i] = graph.NodeID(v)
+		}
+	}
+	return h, off, nil
+}
+
+// Clone returns a deep copy of the header.
+func (h *Header) Clone() Header {
+	c := *h
+	c.FailedLinks = append([]graph.LinkID(nil), h.FailedLinks...)
+	c.CrossLinks = append([]graph.LinkID(nil), h.CrossLinks...)
+	c.SourceRoute = append([]graph.NodeID(nil), h.SourceRoute...)
+	return c
+}
+
+// Delay model, exactly as in the paper's evaluation: 100 microseconds
+// through a router plus 1.7 milliseconds of propagation per link.
+const (
+	RouterDelay = 100 * time.Microsecond
+	PropDelay   = 1700 * time.Microsecond
+	// HopDelay is the total per-hop delay.
+	HopDelay = RouterDelay + PropDelay
+	// PacketBaseBytes is the assumed payload size when accounting
+	// wasted transmission (the paper assumes 1000-byte packets plus
+	// the recovery header).
+	PacketBaseBytes = 1000
+)

@@ -1,0 +1,236 @@
+package routing
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/graph"
+)
+
+func TestModeString(t *testing.T) {
+	cases := map[Mode]string{
+		ModeDefault: "default",
+		ModeCollect: "collect",
+		ModeSource:  "source",
+		Mode(9):     "mode(9)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("Mode(%d).String() = %q, want %q", m, got, want)
+		}
+	}
+}
+
+func TestRecordFailedLink(t *testing.T) {
+	var h Header
+	if !h.RecordFailedLink(3) {
+		t.Error("first record must report change")
+	}
+	if h.RecordFailedLink(3) {
+		t.Error("duplicate record must report no change")
+	}
+	if !h.RecordFailedLink(5) {
+		t.Error("second distinct record must report change")
+	}
+	if !h.HasFailedLink(3) || !h.HasFailedLink(5) || h.HasFailedLink(4) {
+		t.Errorf("failed_link content wrong: %v", h.FailedLinks)
+	}
+	if len(h.FailedLinks) != 2 {
+		t.Errorf("failed_link length = %d, want 2", len(h.FailedLinks))
+	}
+}
+
+func TestRecordCrossLink(t *testing.T) {
+	var h Header
+	if !h.RecordCrossLink(7) {
+		t.Error("first record must report change")
+	}
+	if h.RecordCrossLink(7) {
+		t.Error("duplicate record must report no change")
+	}
+	if !h.HasCrossLink(7) || h.HasCrossLink(8) {
+		t.Errorf("cross_link content wrong: %v", h.CrossLinks)
+	}
+}
+
+func TestRecordingBytes(t *testing.T) {
+	h := Header{
+		FailedLinks: []graph.LinkID{1, 2, 3},
+		CrossLinks:  []graph.LinkID{4},
+		SourceRoute: []graph.NodeID{5, 6},
+	}
+	// 16 bits per recorded ID: (3 + 1 + 2) * 2 bytes.
+	if got := h.RecordingBytes(); got != 12 {
+		t.Errorf("RecordingBytes = %d, want 12", got)
+	}
+	var empty Header
+	if got := empty.RecordingBytes(); got != 0 {
+		t.Errorf("empty RecordingBytes = %d, want 0", got)
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		Mode:        ModeCollect,
+		RecInit:     42,
+		FailedLinks: []graph.LinkID{10, 20, 30},
+		CrossLinks:  []graph.LinkID{5},
+		SourceRoute: []graph.NodeID{1, 2, 3, 4},
+		SourceIdx:   2,
+	}
+	b, err := h.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != h.EncodedSize() {
+		t.Errorf("encoded %d bytes, EncodedSize says %d", len(b), h.EncodedSize())
+	}
+	got, n, err := DecodeHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) {
+		t.Errorf("decoded %d bytes of %d", n, len(b))
+	}
+	if !reflect.DeepEqual(got, h) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, h)
+	}
+}
+
+func TestHeaderRoundTripEmpty(t *testing.T) {
+	var h Header
+	b, err := h.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode != ModeDefault || len(got.FailedLinks) != 0 || len(got.CrossLinks) != 0 || len(got.SourceRoute) != 0 {
+		t.Errorf("empty header round trip = %+v", got)
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	f := func() bool {
+		h := Header{
+			Mode:    Mode(rng.Intn(3)),
+			RecInit: graph.NodeID(rng.Intn(1 << 16)),
+		}
+		for i := 0; i < rng.Intn(10); i++ {
+			h.FailedLinks = append(h.FailedLinks, graph.LinkID(rng.Intn(1<<16)))
+		}
+		for i := 0; i < rng.Intn(5); i++ {
+			h.CrossLinks = append(h.CrossLinks, graph.LinkID(rng.Intn(1<<16)))
+		}
+		for i := 0; i < rng.Intn(12); i++ {
+			h.SourceRoute = append(h.SourceRoute, graph.NodeID(rng.Intn(1<<16)))
+		}
+		if len(h.SourceRoute) > 0 {
+			h.SourceIdx = rng.Intn(len(h.SourceRoute) + 1)
+		}
+		b, err := h.AppendBinary(nil)
+		if err != nil {
+			return false
+		}
+		got, n, err := DecodeHeader(b)
+		if err != nil || n != len(b) {
+			return false
+		}
+		return reflect.DeepEqual(normalize(got), normalize(h))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// normalize maps nil and empty slices to a canonical form for
+// comparison.
+func normalize(h Header) Header {
+	if len(h.FailedLinks) == 0 {
+		h.FailedLinks = nil
+	}
+	if len(h.CrossLinks) == 0 {
+		h.CrossLinks = nil
+	}
+	if len(h.SourceRoute) == 0 {
+		h.SourceRoute = nil
+	}
+	return h
+}
+
+func TestDecodeHeaderErrors(t *testing.T) {
+	h := Header{Mode: ModeCollect, FailedLinks: []graph.LinkID{1, 2}}
+	b, err := h.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix must fail cleanly.
+	for i := 0; i < len(b); i++ {
+		if _, _, err := DecodeHeader(b[:i]); err == nil {
+			t.Errorf("truncated header of %d bytes decoded without error", i)
+		}
+	}
+	// Invalid mode.
+	bad := append([]byte(nil), b...)
+	bad[0] = 99
+	if _, _, err := DecodeHeader(bad); err == nil {
+		t.Error("invalid mode must fail")
+	}
+}
+
+func TestDecodeHeaderBadSourceIdx(t *testing.T) {
+	h := Header{SourceRoute: []graph.NodeID{1}, SourceIdx: 1}
+	b, err := h.AppendBinary(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt srcIdx beyond route length: it sits after nRoute.
+	// Layout: mode(1) recInit(2) nF(2) nC(2) nRoute(2) srcIdx(2)...
+	b[9+0] = 0xFF
+	b[9+1] = 0xFF
+	if _, _, err := DecodeHeader(b); err == nil {
+		t.Error("source index beyond route must fail")
+	}
+}
+
+func TestAppendBinarySourceIdxValidation(t *testing.T) {
+	h := Header{SourceRoute: []graph.NodeID{1, 2}, SourceIdx: 3}
+	if _, err := h.AppendBinary(nil); err == nil {
+		t.Error("out-of-range SourceIdx must fail to encode")
+	}
+	h.SourceIdx = -1
+	if _, err := h.AppendBinary(nil); err == nil {
+		t.Error("negative SourceIdx must fail to encode")
+	}
+}
+
+func TestHeaderClone(t *testing.T) {
+	h := Header{
+		Mode:        ModeCollect,
+		FailedLinks: []graph.LinkID{1},
+		CrossLinks:  []graph.LinkID{2},
+		SourceRoute: []graph.NodeID{3},
+	}
+	c := h.Clone()
+	c.FailedLinks[0] = 99
+	c.CrossLinks[0] = 99
+	c.SourceRoute[0] = 99
+	if h.FailedLinks[0] == 99 || h.CrossLinks[0] == 99 || h.SourceRoute[0] == 99 {
+		t.Error("Clone must deep-copy slices")
+	}
+}
+
+func TestDelayModel(t *testing.T) {
+	if HopDelay != 1800*time.Microsecond {
+		t.Errorf("HopDelay = %v, want 1.8ms (paper's Section IV-B)", HopDelay)
+	}
+	if RouterDelay != 100*time.Microsecond || PropDelay != 1700*time.Microsecond {
+		t.Error("delay components must match the paper")
+	}
+}

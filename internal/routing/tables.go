@@ -1,0 +1,102 @@
+package routing
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/spt"
+	"repro/internal/topology"
+)
+
+// Tables are the converged link-state routing tables of an entire
+// domain: for every destination, each router's next hop along the
+// shortest path (the paper's topologies route on hop count; the
+// implementation honors whatever link costs the graph carries).
+//
+// Tables represent the PRE-FAILURE state: during IGP convergence
+// routers keep forwarding with these tables, which is exactly the
+// window RTR operates in.
+type Tables struct {
+	topo  *topology.Topology
+	byDst []*spt.Tree // reverse tree per destination
+}
+
+// ComputeTables computes converged routing tables for topo.
+func ComputeTables(topo *topology.Topology) *Tables {
+	return ComputeTablesUnder(topo, graph.Nothing)
+}
+
+// ComputeTablesUnder computes the routing tables the domain converges
+// to once every router has learned the failures in d — i.e. the
+// post-convergence state on the surviving topology.
+func ComputeTablesUnder(topo *topology.Topology, d graph.Denied) *Tables {
+	n := topo.G.NumNodes()
+	t := &Tables{topo: topo, byDst: make([]*spt.Tree, n)}
+	for dst := 0; dst < n; dst++ {
+		t.byDst[dst] = spt.ComputeReverse(topo.G, graph.NodeID(dst), d)
+	}
+	return t
+}
+
+// Topology returns the topology the tables were computed for.
+func (t *Tables) Topology() *topology.Topology { return t.topo }
+
+// NextHop returns v's default next hop and outgoing link toward dst.
+// ok is false when v is the destination itself or dst is unreachable
+// in the converged (pre-failure) topology.
+func (t *Tables) NextHop(v, dst graph.NodeID) (nh graph.NodeID, link graph.LinkID, ok bool) {
+	tree := t.byDst[dst]
+	p, ok := tree.NextHop(v)
+	if !ok {
+		return 0, 0, false
+	}
+	return p, graph.LinkID(tree.ParentLink[v]), true
+}
+
+// Dist returns the converged path cost from v to dst.
+func (t *Tables) Dist(v, dst graph.NodeID) (float64, bool) {
+	return t.byDst[dst].CostTo(v)
+}
+
+// Hops returns the number of links on the converged path from v to dst.
+func (t *Tables) Hops(v, dst graph.NodeID) (int, bool) {
+	return t.byDst[dst].Hops(v)
+}
+
+// PathNodes returns the converged routing path from v to dst, v first.
+func (t *Tables) PathNodes(v, dst graph.NodeID) ([]graph.NodeID, bool) {
+	return t.byDst[dst].PathNodes(v)
+}
+
+// PathLinks returns the links of the converged routing path from v to
+// dst in travel order.
+func (t *Tables) PathLinks(v, dst graph.NodeID) ([]graph.LinkID, bool) {
+	return t.byDst[dst].PathLinks(v)
+}
+
+// DestTree returns the reverse shortest-path tree for dst. The tree is
+// shared; callers must not modify it.
+func (t *Tables) DestTree(dst graph.NodeID) *spt.Tree { return t.byDst[dst] }
+
+// PathFails reports whether the converged routing path from src to dst
+// contains a failed node or link under d (the paper's definition of a
+// failed routing path). The source itself is not checked; a path from
+// a failed source is meaningless and handled by the caller.
+func (t *Tables) PathFails(src, dst graph.NodeID, d graph.Denied) (bool, error) {
+	nodes, ok := t.PathNodes(src, dst)
+	if !ok {
+		return false, fmt.Errorf("routing: no converged path %d -> %d", src, dst)
+	}
+	links, _ := t.PathLinks(src, dst)
+	for _, v := range nodes[1:] {
+		if d.NodeDown(v) {
+			return true, nil
+		}
+	}
+	for _, l := range links {
+		if d.LinkDown(l) {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,219 @@
+package routing
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+func paperSetup(t *testing.T) (*topology.Topology, *Tables, *failure.Scenario) {
+	t.Helper()
+	topo := topology.PaperExample()
+	return topo, ComputeTables(topo), failure.NewScenario(topo, topology.PaperFailureArea())
+}
+
+func TestConvergedRoutingPathOfTheNarrative(t *testing.T) {
+	topo, tables, _ := paperSetup(t)
+	// "the routing path from v7 to v17 is v7 v6 v11 v15 v17".
+	nodes, ok := tables.PathNodes(topology.PaperNode(7), topology.PaperNode(17))
+	if !ok {
+		t.Fatal("no converged path v7 -> v17")
+	}
+	want := []int{7, 6, 11, 15, 17}
+	if len(nodes) != len(want) {
+		t.Fatalf("path = %v, want v%v", nodes, want)
+	}
+	for i, k := range want {
+		if nodes[i] != topology.PaperNode(k) {
+			t.Fatalf("path[%d] = %d, want v%d (path %v)", i, nodes[i], k, nodes)
+		}
+	}
+	if h, _ := tables.Hops(topology.PaperNode(7), topology.PaperNode(17)); h != 4 {
+		t.Errorf("hops = %d, want 4", h)
+	}
+	_ = topo
+}
+
+func TestNextHopAndDist(t *testing.T) {
+	_, tables, _ := paperSetup(t)
+	v6, v17 := topology.PaperNode(6), topology.PaperNode(17)
+	nh, link, ok := tables.NextHop(v6, v17)
+	if !ok || nh != topology.PaperNode(11) {
+		t.Fatalf("NextHop(v6, v17) = v%d, want v11", nh+1)
+	}
+	l := tables.Topology().G.Link(link)
+	if !l.HasEndpoint(v6) || !l.HasEndpoint(nh) {
+		t.Error("returned link does not connect v6 to its next hop")
+	}
+	if d, ok := tables.Dist(v6, v17); !ok || d != 3 {
+		t.Errorf("Dist(v6, v17) = %v, want 3", d)
+	}
+	// Destination itself has no next hop.
+	if _, _, ok := tables.NextHop(v17, v17); ok {
+		t.Error("destination must have no next hop")
+	}
+}
+
+func TestPathFails(t *testing.T) {
+	_, tables, sc := paperSetup(t)
+	v7, v17 := topology.PaperNode(7), topology.PaperNode(17)
+	failed, err := tables.PathFails(v7, v17, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Error("the narrative path v7->v17 fails at e6-11")
+	}
+	// v1 -> v2 is far from the failure area.
+	failed, err = tables.PathFails(topology.PaperNode(1), topology.PaperNode(2), sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Error("v1 -> v2 must be unaffected")
+	}
+}
+
+func TestTraceDefaultBlocked(t *testing.T) {
+	topo, tables, sc := paperSetup(t)
+	lv := NewLocalView(topo, sc)
+	// From v7 toward v17: blocked at v6 after one hop.
+	out, init, hops := TraceDefault(tables, lv, topology.PaperNode(7), topology.PaperNode(17))
+	if out != DefaultBlocked {
+		t.Fatalf("outcome = %v, want blocked", out)
+	}
+	if init != topology.PaperNode(6) {
+		t.Errorf("initiator = v%d, want v6", init+1)
+	}
+	if hops != 1 {
+		t.Errorf("hops to initiator = %d, want 1", hops)
+	}
+}
+
+func TestTraceDefaultDelivered(t *testing.T) {
+	topo, tables, sc := paperSetup(t)
+	lv := NewLocalView(topo, sc)
+	out, _, hops := TraceDefault(tables, lv, topology.PaperNode(1), topology.PaperNode(2))
+	if out != DefaultDelivered {
+		t.Fatalf("outcome = %v, want delivered", out)
+	}
+	if hops != 1 {
+		t.Errorf("hops = %d, want 1", hops)
+	}
+	// Self-delivery.
+	out, _, hops = TraceDefault(tables, lv, topology.PaperNode(1), topology.PaperNode(1))
+	if out != DefaultDelivered || hops != 0 {
+		t.Errorf("self delivery = %v/%d hops", out, hops)
+	}
+}
+
+func TestTraceDefaultSourceDown(t *testing.T) {
+	topo, tables, sc := paperSetup(t)
+	lv := NewLocalView(topo, sc)
+	out, _, _ := TraceDefault(tables, lv, topology.PaperNode(10), topology.PaperNode(1))
+	if out != DefaultSourceDown {
+		t.Errorf("outcome = %v, want source-down", out)
+	}
+}
+
+func TestTraceDefaultInitiatorDetectsNodeFailureToo(t *testing.T) {
+	// Toward v10 (the failed node): its tree neighbors see it as
+	// unreachable and become initiators.
+	topo, tables, sc := paperSetup(t)
+	lv := NewLocalView(topo, sc)
+	out, init, _ := TraceDefault(tables, lv, topology.PaperNode(9), topology.PaperNode(10))
+	if out != DefaultBlocked {
+		t.Fatalf("outcome = %v, want blocked", out)
+	}
+	if init != topology.PaperNode(9) {
+		t.Errorf("initiator = v%d, want v9 (adjacent to failed v10)", init+1)
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for _, o := range []DefaultOutcome{DefaultDelivered, DefaultSourceDown, DefaultBlocked, DefaultNoRoute, DefaultOutcome(77)} {
+		if o.String() == "" {
+			t.Error("outcome strings must be non-empty")
+		}
+	}
+}
+
+func TestLocalViewObservations(t *testing.T) {
+	topo, _, sc := paperSetup(t)
+	lv := NewLocalView(topo, sc)
+
+	if !lv.NodeAlive(topology.PaperNode(6)) {
+		t.Error("v6 is alive")
+	}
+	if lv.NodeAlive(topology.PaperNode(10)) {
+		t.Error("v10 is down")
+	}
+
+	// v6 sees exactly one unreachable neighbor: across e6-11.
+	un := lv.UnreachableLinks(topology.PaperNode(6))
+	if len(un) != 1 || un[0] != topology.PaperLink(topo, 6, 11) {
+		t.Errorf("v6 unreachable links = %v, want [e6-11]", un)
+	}
+	// v11 sees three unreachable neighbors: v10 (down), v6 and v4
+	// (links across the area) — exactly the Fig. 1 narrative.
+	un = lv.UnreachableLinks(topology.PaperNode(11))
+	want := map[graph.LinkID]bool{
+		topology.PaperLink(topo, 10, 11): true,
+		topology.PaperLink(topo, 6, 11):  true,
+		topology.PaperLink(topo, 4, 11):  true,
+	}
+	if len(un) != 3 {
+		t.Fatalf("v11 unreachable links = %v, want 3", un)
+	}
+	for _, id := range un {
+		if !want[id] {
+			t.Errorf("unexpected unreachable link %v at v11", topo.G.Link(id))
+		}
+	}
+
+	// Live neighbors of v11: v12, v15, v16.
+	live := lv.LiveNeighbors(topology.PaperNode(11))
+	if len(live) != 3 {
+		t.Fatalf("v11 live neighbors = %d, want 3", len(live))
+	}
+	for _, h := range live {
+		switch h.Neighbor {
+		case topology.PaperNode(12), topology.PaperNode(15), topology.PaperNode(16):
+		default:
+			t.Errorf("unexpected live neighbor v%d", h.Neighbor+1)
+		}
+	}
+
+	// NeighborUnreachable is per-endpoint: from v5, v10 is unreachable.
+	if !lv.NeighborUnreachable(topology.PaperNode(5), topology.PaperLink(topo, 5, 10)) {
+		t.Error("v10 must be unreachable from v5")
+	}
+	if lv.NeighborUnreachable(topology.PaperNode(5), topology.PaperLink(topo, 5, 12)) {
+		t.Error("v12 must be reachable from v5")
+	}
+}
+
+func TestWalkAccounting(t *testing.T) {
+	var w Walk
+	if w.Hops() != 0 || w.Duration() != 0 || w.Nodes() != nil {
+		t.Error("empty walk must be zero-valued")
+	}
+	w.Append(HopRecord{From: 0, To: 1, Link: 0, HeaderBytes: 4})
+	w.Append(HopRecord{From: 1, To: 2, Link: 1, HeaderBytes: 8})
+	if w.Hops() != 2 {
+		t.Errorf("Hops = %d, want 2", w.Hops())
+	}
+	if w.Duration() != 2*HopDelay {
+		t.Errorf("Duration = %v, want %v", w.Duration(), 2*HopDelay)
+	}
+	nodes := w.Nodes()
+	if len(nodes) != 3 || nodes[0] != 0 || nodes[2] != 2 {
+		t.Errorf("Nodes = %v", nodes)
+	}
+	if w.Duration() != time.Duration(w.Hops())*1800*time.Microsecond {
+		t.Error("duration model must be 1.8 ms per hop")
+	}
+}

@@ -1,0 +1,310 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/mrc"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// The ablation experiments quantify the design choices DESIGN.md calls
+// out: the enclosure-verified termination versus the paper's literal
+// rule, the two forwarding constraints versus the plain right-hand
+// rule, MRC's configuration count, and hop-count versus weighted link
+// costs.
+
+// TerminationAblation compares phase-1 termination rules on identical
+// workloads.
+type TerminationAblation struct {
+	AS string
+	// Optimal recovery rates (percent).
+	VerifiedOptimal, PaperOptimal float64
+	// First-phase duration 90th percentiles (milliseconds).
+	VerifiedP90Ms, PaperP90Ms float64
+}
+
+// AblateTermination builds two engines on the same topology — default
+// (enclosure-verified) and WithPaperTermination — and runs the same
+// recoverable workload through both.
+func AblateTermination(asName string, seed int64, cases int) (TerminationAblation, error) {
+	res := TerminationAblation{AS: asName}
+	build := func(opts ...core.Option) (*World, []*Case, error) {
+		p, ok := topology.ParamsFor(asName)
+		if !ok {
+			return nil, nil, fmt.Errorf("sim: unknown topology %q", asName)
+		}
+		topo, err := topology.Generate(p, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return nil, nil, err
+		}
+		w, err := NewWorldFrom(topo, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return w, CollectCases(w, rand.New(rand.NewSource(seed+1)), cases, true), nil
+	}
+	measure := func(w *World, cs []*Case) (optPct, p90 float64) {
+		outs := RunAll(w, cs)
+		n, opt := 0, 0
+		var durations []float64
+		for _, o := range outs {
+			if o.Err != nil || o.RTR.NoLiveNeighbor {
+				continue
+			}
+			n++
+			if o.RTR.Optimal {
+				opt++
+			}
+			durations = append(durations, float64(o.RTR.Phase1.Duration())/float64(time.Millisecond))
+		}
+		if n == 0 {
+			return 0, 0
+		}
+		c := stats.NewCDF(durations)
+		return 100 * float64(opt) / float64(n), c.Quantile(0.9)
+	}
+
+	w, cs, err := build()
+	if err != nil {
+		return res, err
+	}
+	res.VerifiedOptimal, res.VerifiedP90Ms = measure(w, cs)
+
+	wp, csp, err := build(core.WithPaperTermination())
+	if err != nil {
+		return res, err
+	}
+	res.PaperOptimal, res.PaperP90Ms = measure(wp, csp)
+	return res, nil
+}
+
+// ConstraintCell is one cell of the 2x2 constraint/termination
+// ablation: failure-collection coverage and walk length for one
+// combination. Coverage is the fraction of observable failed links
+// (failed links with a live endpoint in the initiator's component)
+// that the walk collected, including the initiator's own.
+type ConstraintCell struct {
+	Coverage    float64 // percent
+	AvgWalkHops float64
+}
+
+// ConstraintAblation crosses Constraints 1-2 (on/off) with the
+// termination rule (enclosure-verified / paper). The paper's Fig. 4
+// argument — constraints keep the walk from short-circuiting — shows
+// up under the paper's termination; under the verified termination the
+// walk keeps exploring either way and the unconstrained variant trades
+// ~2x hops for comparable coverage.
+type ConstraintAblation struct {
+	AS                                   string
+	VerifiedConstrained                  ConstraintCell
+	VerifiedUnconstrained                ConstraintCell
+	PaperConstrained, PaperUnconstrained ConstraintCell
+}
+
+// AblateConstraints measures the 2x2 of constraints x termination.
+func AblateConstraints(asName string, seed int64, cases int) (ConstraintAblation, error) {
+	res := ConstraintAblation{AS: asName}
+	p, ok := topology.ParamsFor(asName)
+	if !ok {
+		return res, fmt.Errorf("sim: unknown topology %q", asName)
+	}
+
+	run := func(opts ...core.Option) (con, unc ConstraintCell, err error) {
+		topo, err := topology.Generate(p, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return con, unc, err
+		}
+		w, err := NewWorldFrom(topo, opts...)
+		if err != nil {
+			return con, unc, err
+		}
+		cs := CollectCases(w, rand.New(rand.NewSource(seed+1)), cases, true)
+
+		coverage := func(c *Case, collected []graph.LinkID) (have, want int) {
+			known := make(map[graph.LinkID]bool, len(collected))
+			for _, id := range collected {
+				known[id] = true
+			}
+			for _, id := range c.LV.UnreachableLinks(c.Initiator) {
+				known[id] = true
+			}
+			reach := w.Topo.G.Reachable(c.Initiator, c.Scenario)
+			for _, id := range c.Scenario.FailedLinks() {
+				l := w.Topo.G.Link(id)
+				observable := (!c.Scenario.NodeDown(l.A) && reach[l.A]) ||
+					(!c.Scenario.NodeDown(l.B) && reach[l.B])
+				if !observable {
+					continue
+				}
+				want++
+				if known[id] {
+					have++
+				}
+			}
+			return have, want
+		}
+
+		var conHave, conWant, unHave, unWant, conHops, unHops, n int
+		for _, c := range cs {
+			sess, err := w.RTR.NewSession(c.LV, c.Initiator)
+			if err != nil {
+				continue
+			}
+			col, err := sess.Collect(c.Trigger)
+			if err != nil {
+				continue
+			}
+			uncol, err := w.RTR.CollectUnconstrained(c.LV, c.Initiator, c.Trigger)
+			if err != nil {
+				continue
+			}
+			n++
+			h, want := coverage(c, col.Header.FailedLinks)
+			conHave += h
+			conWant += want
+			h, want = coverage(c, uncol.Header.FailedLinks)
+			unHave += h
+			unWant += want
+			conHops += col.Walk.Hops()
+			unHops += uncol.Walk.Hops()
+		}
+		if conWant > 0 {
+			con.Coverage = 100 * float64(conHave) / float64(conWant)
+		}
+		if unWant > 0 {
+			unc.Coverage = 100 * float64(unHave) / float64(unWant)
+		}
+		if n > 0 {
+			con.AvgWalkHops = float64(conHops) / float64(n)
+			unc.AvgWalkHops = float64(unHops) / float64(n)
+		}
+		return con, unc, nil
+	}
+
+	var err error
+	res.VerifiedConstrained, res.VerifiedUnconstrained, err = run()
+	if err != nil {
+		return res, err
+	}
+	res.PaperConstrained, res.PaperUnconstrained, err = run(core.WithPaperTermination())
+	return res, err
+}
+
+// MRCConfigPoint is one point of the configuration-count sweep.
+type MRCConfigPoint struct {
+	K        int
+	Recovery float64 // percent, recoverable cases
+}
+
+// AblateMRCConfigs sweeps MRC's configuration count on a fixed
+// workload: more configurations isolate fewer elements each, changing
+// how often a route survives an area failure.
+func AblateMRCConfigs(asName string, seed int64, cases int, ks []int) ([]MRCConfigPoint, error) {
+	w, err := NewWorld(asName, seed)
+	if err != nil {
+		return nil, err
+	}
+	cs := CollectCases(w, rand.New(rand.NewSource(seed+1)), cases, true)
+
+	out := make([]MRCConfigPoint, 0, len(ks))
+	for _, k := range ks {
+		m, err := mrc.New(w.Topo, k)
+		if err != nil {
+			return nil, err
+		}
+		delivered, n := 0, 0
+		for _, c := range cs {
+			r, err := m.Recover(c.LV, c.Initiator, c.Dst, c.NextHop, c.Trigger)
+			if err != nil {
+				continue
+			}
+			n++
+			if r.Delivered {
+				delivered++
+			}
+		}
+		p := MRCConfigPoint{K: m.Configs()}
+		if n > 0 {
+			p.Recovery = 100 * float64(delivered) / float64(n)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// WeightedCostAblation checks that RTR's guarantees are cost-model
+// independent: with random asymmetric link weights instead of hop
+// count, recovered still implies optimal (Theorem 2 argues about path
+// costs, not hops).
+type WeightedCostAblation struct {
+	AS                string
+	Recovery, Optimal float64 // percent; must be equal
+	FCPRecovery       float64
+}
+
+// AblateWeightedCosts rebuilds the topology with random per-direction
+// link costs in [1, 10) and reruns the recoverable workload.
+func AblateWeightedCosts(asName string, seed int64, cases int) (WeightedCostAblation, error) {
+	res := WeightedCostAblation{AS: asName}
+	p, ok := topology.ParamsFor(asName)
+	if !ok {
+		return res, fmt.Errorf("sim: unknown topology %q", asName)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	base, err := topology.Generate(p, rng)
+	if err != nil {
+		return res, err
+	}
+	weighted, err := reweight(base, rng)
+	if err != nil {
+		return res, err
+	}
+	w, err := NewWorldFrom(weighted)
+	if err != nil {
+		return res, err
+	}
+	cs := CollectCases(w, rand.New(rand.NewSource(seed+1)), cases, true)
+	outs := RunAll(w, cs)
+	var rec, opt, fcpRec, n int
+	for _, o := range outs {
+		if o.Err != nil {
+			continue
+		}
+		n++
+		if o.RTR.Recovered {
+			rec++
+		}
+		if o.RTR.Optimal {
+			opt++
+		}
+		if o.FCP.Delivered {
+			fcpRec++
+		}
+	}
+	if n > 0 {
+		res.Recovery = 100 * float64(rec) / float64(n)
+		res.Optimal = 100 * float64(opt) / float64(n)
+		res.FCPRecovery = 100 * float64(fcpRec) / float64(n)
+	}
+	return res, nil
+}
+
+// reweight clones the topology with fresh random per-direction costs.
+func reweight(t *topology.Topology, rng *rand.Rand) (*topology.Topology, error) {
+	g := graph.New(t.G.NumNodes())
+	for _, l := range t.G.Links() {
+		costAB := 1 + rng.Float64()*9
+		costBA := 1 + rng.Float64()*9
+		if _, err := g.AddLinkCost(l.A, l.B, costAB, costBA); err != nil {
+			return nil, err
+		}
+	}
+	coords := append([]geom.Point(nil), t.Coords...)
+	return &topology.Topology{Name: t.Name + "-weighted", G: g, Coords: coords}, nil
+}

@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"math/rand"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// Case is one deduplicated test case, exactly as the paper defines it:
+// "a test case is determined by three factors, i.e., the recovery
+// initiator, the destination, and the failure area." Failed routing
+// paths sharing the same initiator and destination under the same area
+// collapse into one case.
+type Case struct {
+	Scenario *failure.Scenario
+	LV       *routing.LocalView
+	// Initiator is the live router whose default next hop toward Dst
+	// is unreachable.
+	Initiator graph.NodeID
+	Dst       graph.NodeID
+	// NextHop and Trigger are the initiator's (failed) default next
+	// hop toward Dst and the link to it.
+	NextHop graph.NodeID
+	Trigger graph.LinkID
+	// Recoverable reports whether Dst is live and reachable from the
+	// initiator in the post-failure topology (ground truth; the
+	// protocols never see it).
+	Recoverable bool
+}
+
+// CasesFromScenario enumerates every deduplicated test case of one
+// failure scenario: all (initiator, destination) pairs where the live
+// initiator's converged next hop toward the destination is
+// unreachable. Every such pair corresponds to at least one failed
+// routing path with a live source (the initiator itself qualifies).
+func CasesFromScenario(w *World, sc *failure.Scenario) (recoverable, irrecoverable []*Case) {
+	lv := routing.NewLocalView(w.Topo, sc)
+	n := w.Topo.G.NumNodes()
+	// reach[dst] is computed lazily: ground truth reachability from
+	// the initiator equals component membership, so compute per
+	// initiator instead. Components give both directions at once.
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	for ci, c := range w.Topo.G.Components(sc) {
+		for _, v := range c {
+			comp[v] = ci
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		initiator := graph.NodeID(i)
+		if sc.NodeDown(initiator) {
+			continue
+		}
+		for d := 0; d < n; d++ {
+			dst := graph.NodeID(d)
+			if dst == initiator {
+				continue
+			}
+			nh, link, ok := w.Tables.NextHop(initiator, dst)
+			if !ok || !lv.NeighborUnreachable(initiator, link) {
+				continue
+			}
+			c := &Case{
+				Scenario:  sc,
+				LV:        lv,
+				Initiator: initiator,
+				Dst:       dst,
+				NextHop:   nh,
+				Trigger:   link,
+				Recoverable: !sc.NodeDown(dst) &&
+					comp[initiator] >= 0 && comp[initiator] == comp[dst],
+			}
+			if c.Recoverable {
+				recoverable = append(recoverable, c)
+			} else {
+				irrecoverable = append(irrecoverable, c)
+			}
+		}
+	}
+	return recoverable, irrecoverable
+}
+
+// CollectCases draws random failure areas (radius uniform in the
+// paper's [100, 300]) until `want` cases of the requested kind have
+// accumulated, and returns exactly that many.
+func CollectCases(w *World, rng *rand.Rand, want int, recoverable bool) []*Case {
+	var out []*Case
+	for len(out) < want {
+		sc := failure.RandomScenario(w.Topo, rng)
+		rec, irr := CasesFromScenario(w, sc)
+		if recoverable {
+			out = append(out, rec...)
+		} else {
+			out = append(out, irr...)
+		}
+	}
+	return out[:want]
+}
+
+// CollectBoth draws random failure areas until both kinds have reached
+// their targets; cases beyond a kind's target are discarded.
+func CollectBoth(w *World, rng *rand.Rand, wantRec, wantIrr int) (rec, irr []*Case) {
+	for len(rec) < wantRec || len(irr) < wantIrr {
+		sc := failure.RandomScenario(w.Topo, rng)
+		r, i := CasesFromScenario(w, sc)
+		if len(rec) < wantRec {
+			rec = append(rec, r...)
+		}
+		if len(irr) < wantIrr {
+			irr = append(irr, i...)
+		}
+	}
+	if len(rec) > wantRec {
+		rec = rec[:wantRec]
+	}
+	if len(irr) > wantIrr {
+		irr = irr[:wantIrr]
+	}
+	return rec, irr
+}
+
+// CountFailedPaths counts, for one scenario, the failed routing paths
+// with a live source (ordered source/destination pairs whose converged
+// path contains a failure) and how many of them are irrecoverable
+// (destination failed or in a different partition than the source).
+// This is the paper's Fig. 11 metric, which counts paths rather than
+// deduplicated cases.
+func CountFailedPaths(w *World, sc *failure.Scenario) (failed, irrecoverable int) {
+	n := w.Topo.G.NumNodes()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	for ci, c := range w.Topo.G.Components(sc) {
+		for _, v := range c {
+			comp[v] = ci
+		}
+	}
+	for s := 0; s < n; s++ {
+		src := graph.NodeID(s)
+		if sc.NodeDown(src) {
+			continue
+		}
+		for d := 0; d < n; d++ {
+			dst := graph.NodeID(d)
+			if dst == src {
+				continue
+			}
+			bad, err := w.Tables.PathFails(src, dst, sc)
+			if err != nil || !bad {
+				continue
+			}
+			failed++
+			if sc.NodeDown(dst) || comp[src] != comp[dst] {
+				irrecoverable++
+			}
+		}
+	}
+	return failed, irrecoverable
+}

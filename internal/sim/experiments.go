@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/stats"
+)
+
+// Config sizes an experiment run. The paper's full workload is 10,000
+// recoverable and 10,000 irrecoverable cases per topology; tests and
+// benches use smaller counts.
+type Config struct {
+	Recoverable   int
+	Irrecoverable int
+	Seed          int64
+}
+
+// DefaultConfig is the paper-scale workload.
+func DefaultConfig() Config {
+	return Config{Recoverable: 10000, Irrecoverable: 10000, Seed: 1}
+}
+
+// Dataset is the shared raw material of Tables III/IV and Figs. 7-10,
+// 12-13 for one topology: outcomes on recoverable and irrecoverable
+// cases.
+type Dataset struct {
+	World *World
+	Rec   []Outcome
+	Irr   []Outcome
+}
+
+// BuildDataset collects cases and runs all protocols.
+func BuildDataset(w *World, cfg Config) *Dataset {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rec, irr := CollectBoth(w, rng, cfg.Recoverable, cfg.Irrecoverable)
+	return &Dataset{World: w, Rec: RunAll(w, rec), Irr: RunAll(w, irr)}
+}
+
+// Fig7 returns the CDF of first-phase durations in milliseconds over
+// all cases (the paper uses both recoverable and irrecoverable cases:
+// "RTR has the same first phase in both").
+func (d *Dataset) Fig7() *stats.CDF {
+	var c stats.CDF
+	for _, set := range [][]Outcome{d.Rec, d.Irr} {
+		for _, o := range set {
+			if o.Err != nil || o.RTR.NoLiveNeighbor {
+				continue
+			}
+			c.Add(float64(o.RTR.Phase1.Duration()) / float64(time.Millisecond))
+		}
+	}
+	return &c
+}
+
+// Table3Row is one topology's row of Table III.
+type Table3Row struct {
+	AS string
+	// Recovery rates in percent.
+	RTRRecovery, FCPRecovery, MRCRecovery float64
+	// Optimal recovery rates in percent.
+	RTROptimal, FCPOptimal, MRCOptimal float64
+	// Maximum stretch among recovered cases.
+	RTRMaxStretch, FCPMaxStretch, MRCMaxStretch float64
+	// Maximum number of shortest path calculations (reactive schemes).
+	RTRMaxCalcs, FCPMaxCalcs int
+}
+
+// Table3 aggregates the recoverable outcomes into the paper's
+// Table III row for this topology.
+func (d *Dataset) Table3() Table3Row {
+	row := Table3Row{AS: d.World.Topo.Name}
+	var rtrRec, rtrOpt, fcpRec, fcpOpt, mrcRec, mrcOpt stats.Rate
+	for _, o := range d.Rec {
+		if o.Err != nil {
+			continue
+		}
+		rtrRec.Observe(o.RTR.Recovered)
+		rtrOpt.Observe(o.RTR.Optimal)
+		fcpRec.Observe(o.FCP.Delivered)
+		fcpOpt.Observe(o.FCP.Optimal)
+		mrcRec.Observe(o.MRC.Delivered)
+		mrcOpt.Observe(o.MRC.Optimal)
+		if o.RTR.Recovered && o.RTR.Stretch > row.RTRMaxStretch {
+			row.RTRMaxStretch = o.RTR.Stretch
+		}
+		if o.FCP.Delivered && o.FCP.Stretch > row.FCPMaxStretch {
+			row.FCPMaxStretch = o.FCP.Stretch
+		}
+		if o.MRC.Delivered && o.MRC.Stretch > row.MRCMaxStretch {
+			row.MRCMaxStretch = o.MRC.Stretch
+		}
+		if o.RTR.SPCalcs > row.RTRMaxCalcs {
+			row.RTRMaxCalcs = o.RTR.SPCalcs
+		}
+		if o.FCP.SPCalcs > row.FCPMaxCalcs {
+			row.FCPMaxCalcs = o.FCP.SPCalcs
+		}
+	}
+	row.RTRRecovery = rtrRec.Percent()
+	row.RTROptimal = rtrOpt.Percent()
+	row.FCPRecovery = fcpRec.Percent()
+	row.FCPOptimal = fcpOpt.Percent()
+	row.MRCRecovery = mrcRec.Percent()
+	row.MRCOptimal = mrcOpt.Percent()
+	return row
+}
+
+// Fig8 returns the stretch CDFs of recovered cases for RTR and FCP.
+func (d *Dataset) Fig8() (rtr, fcp *stats.CDF) {
+	rtr, fcp = &stats.CDF{}, &stats.CDF{}
+	for _, o := range d.Rec {
+		if o.Err != nil {
+			continue
+		}
+		if o.RTR.Recovered {
+			rtr.Add(o.RTR.Stretch)
+		}
+		if o.FCP.Delivered {
+			fcp.Add(o.FCP.Stretch)
+		}
+	}
+	return rtr, fcp
+}
+
+// Fig9 returns the CDFs of shortest-path calculation counts on
+// recoverable cases for RTR and FCP.
+func (d *Dataset) Fig9() (rtr, fcp *stats.CDF) {
+	rtr, fcp = &stats.CDF{}, &stats.CDF{}
+	for _, o := range d.Rec {
+		if o.Err != nil || o.RTR.NoLiveNeighbor {
+			continue
+		}
+		rtr.Add(float64(o.RTR.SPCalcs))
+		fcp.Add(float64(o.FCP.SPCalcs))
+	}
+	return rtr, fcp
+}
+
+// TimePoint is one sample of Fig. 10's average transmission overhead
+// (header recording bytes) over time.
+type TimePoint struct {
+	T        time.Duration
+	RTRBytes float64
+	FCPBytes float64
+}
+
+// Fig10 samples the average per-packet header recording bytes over
+// recoverable cases from t=0 to horizon in the given step (the paper
+// shows the first second at millisecond resolution).
+func (d *Dataset) Fig10(horizon, step time.Duration) []TimePoint {
+	var out []TimePoint
+	for t := time.Duration(0); t <= horizon; t += step {
+		var rtrSum, fcpSum float64
+		n := 0
+		for _, o := range d.Rec {
+			if o.Err != nil || o.RTR.NoLiveNeighbor {
+				continue
+			}
+			n++
+			rtrSum += float64(BytesAt(o.RTR.Phase1, o.RTR.RouteBytes, t))
+			fcpSum += float64(BytesAt(o.FCP.Walk, o.FCP.FinalBytes, t))
+		}
+		if n == 0 {
+			continue
+		}
+		out = append(out, TimePoint{T: t, RTRBytes: rtrSum / float64(n), FCPBytes: fcpSum / float64(n)})
+	}
+	return out
+}
+
+// Fig11Point is one radius sample of Fig. 11.
+type Fig11Point struct {
+	Radius float64
+	// Percent of failed routing paths that are irrecoverable.
+	Percent float64
+	Failed  int
+}
+
+// Fig11 sweeps the failure radius (the paper: 20 to 300 in steps of
+// 20, 1000 areas per radius) and reports the fraction of failed
+// routing paths that are irrecoverable.
+func Fig11(w *World, seed int64, radii []float64, areasPerRadius int) []Fig11Point {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Fig11Point, 0, len(radii))
+	for _, radius := range radii {
+		failed, irr := 0, 0
+		for i := 0; i < areasPerRadius; i++ {
+			area := failure.RandomArea(rng, radius, radius)
+			sc := failure.NewScenario(w.Topo, area)
+			f, ir := CountFailedPaths(w, sc)
+			failed += f
+			irr += ir
+		}
+		p := Fig11Point{Radius: radius, Failed: failed}
+		if failed > 0 {
+			p.Percent = 100 * float64(irr) / float64(failed)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// DefaultRadii is the paper's Fig. 11 sweep: 20 to 300 step 20.
+func DefaultRadii() []float64 {
+	var out []float64
+	for r := 20.0; r <= 300; r += 20 {
+		out = append(out, r)
+	}
+	return out
+}
+
+// Fig12 returns the CDFs of wasted computation (shortest path
+// calculations) on irrecoverable cases.
+func (d *Dataset) Fig12() (rtr, fcp *stats.CDF) {
+	rtr, fcp = &stats.CDF{}, &stats.CDF{}
+	for _, o := range d.Irr {
+		if o.Err != nil || o.RTR.NoLiveNeighbor {
+			continue
+		}
+		rtr.Add(float64(o.RTR.SPCalcs))
+		fcp.Add(float64(o.FCP.SPCalcs))
+	}
+	return rtr, fcp
+}
+
+// Fig13 returns the CDFs of wasted transmission (packet size times
+// hops from the initiator to the discarding node) on irrecoverable
+// cases.
+func (d *Dataset) Fig13() (rtr, fcp *stats.CDF) {
+	rtr, fcp = &stats.CDF{}, &stats.CDF{}
+	for _, o := range d.Irr {
+		if o.Err != nil || o.RTR.NoLiveNeighbor {
+			continue
+		}
+		rtr.Add(wastedTransmission(o.RTR.RouteBytes, o.RTR.WastedHops))
+		fcp.Add(wastedTransmission(o.FCP.FinalBytes, o.FCP.WastedHops))
+	}
+	return rtr, fcp
+}
+
+// Table4Row is one topology's row of Table IV.
+type Table4Row struct {
+	AS                       string
+	RTRAvgComp, FCPAvgComp   float64
+	RTRMaxComp, FCPMaxComp   float64
+	RTRAvgTrans, FCPAvgTrans float64
+	RTRMaxTrans, FCPMaxTrans float64
+}
+
+// Table4 aggregates the irrecoverable outcomes into the paper's
+// Table IV row.
+func (d *Dataset) Table4() Table4Row {
+	rtrC, fcpC := d.Fig12()
+	rtrT, fcpT := d.Fig13()
+	row := Table4Row{AS: d.World.Topo.Name}
+	if rtrC.N() > 0 {
+		row.RTRAvgComp, row.RTRMaxComp = rtrC.Mean(), rtrC.Max()
+		row.FCPAvgComp, row.FCPMaxComp = fcpC.Mean(), fcpC.Max()
+		row.RTRAvgTrans, row.RTRMaxTrans = rtrT.Mean(), rtrT.Max()
+		row.FCPAvgTrans, row.FCPMaxTrans = fcpT.Mean(), fcpT.Max()
+	}
+	return row
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/igp"
+)
+
+func TestPacketLossShape(t *testing.T) {
+	w, err := NewWorld("AS1239", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := LossConfig{
+		Scenarios:        20,
+		PacketsPerSecond: 10000,
+		Seed:             7,
+		Timers:           igp.ClassicTimers(),
+	}
+	res := PacketLoss(w, cfg)
+
+	if res.FailedPaths == 0 || res.RecoverablePaths == 0 {
+		t.Fatalf("no failed paths observed: %+v", res)
+	}
+	if res.MeanConvergence < 5*time.Second {
+		t.Errorf("classic convergence %v implausibly fast", res.MeanConvergence)
+	}
+	if res.DroppedWithRTR >= res.DroppedNoRecovery {
+		t.Errorf("RTR must reduce loss: %v vs %v", res.DroppedWithRTR, res.DroppedNoRecovery)
+	}
+	if res.SavedPercent <= 0 || res.SavedPercent >= 100 {
+		t.Errorf("saved percent = %v, want in (0,100)", res.SavedPercent)
+	}
+	// On recoverable paths RTR loses only the detection window, so the
+	// saving on those is (window-detect)/window, diluted by
+	// irrecoverable paths. With classic timers (1 s detect, >6 s
+	// window) the overall saving should be substantial.
+	if res.SavedPercent < 20 {
+		t.Errorf("saved percent = %.1f, expected a substantial reduction", res.SavedPercent)
+	}
+	t.Logf("convergence %v, failed paths %d (%d recoverable), saved %.1f%%",
+		res.MeanConvergence, res.FailedPaths, res.RecoverablePaths, res.SavedPercent)
+}
+
+func TestPacketLossTunedSavesLess(t *testing.T) {
+	// With sub-second convergence the window shrinks toward the
+	// detection time, so RTR's relative saving drops — exactly the
+	// paper's argument for why tuning alone is insufficient yet risky.
+	w, err := NewWorld("AS1239", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classic := PacketLoss(w, LossConfig{Scenarios: 15, PacketsPerSecond: 1000, Seed: 7, Timers: igp.ClassicTimers()})
+	tuned := PacketLoss(w, LossConfig{Scenarios: 15, PacketsPerSecond: 1000, Seed: 7, Timers: igp.TunedTimers()})
+	if tuned.SavedPercent >= classic.SavedPercent {
+		t.Errorf("tuned saving (%.1f%%) should be below classic (%.1f%%)",
+			tuned.SavedPercent, classic.SavedPercent)
+	}
+	if tuned.MeanConvergence >= classic.MeanConvergence {
+		t.Error("tuned timers must converge faster")
+	}
+}
+
+func TestDefaultLossConfig(t *testing.T) {
+	cfg := DefaultLossConfig()
+	if cfg.Scenarios <= 0 || cfg.PacketsPerSecond <= 0 {
+		t.Errorf("bad defaults: %+v", cfg)
+	}
+	if cfg.Timers.Detection == 0 {
+		t.Error("default timers must be set")
+	}
+}
+
+func TestGoodputSeriesShape(t *testing.T) {
+	w, err := NewWorld("AS1239", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := LossConfig{Scenarios: 10, PacketsPerSecond: 1000, Seed: 7, Timers: igp.ClassicTimers()}
+	pts := GoodputSeries(w, cfg, 200*time.Millisecond)
+	if len(pts) < 5 {
+		t.Fatalf("series too short: %d points", len(pts))
+	}
+	// Both series are monotone non-decreasing; RTR dominates
+	// no-recovery at every instant; both end equal (IGP eventually
+	// restores everything restorable).
+	for i, p := range pts {
+		if p.WithRTR < p.NoRecovery-1e-12 {
+			t.Fatalf("t=%v: RTR goodput %.3f below no-recovery %.3f", p.T, p.WithRTR, p.NoRecovery)
+		}
+		if i > 0 {
+			if p.WithRTR < pts[i-1].WithRTR || p.NoRecovery < pts[i-1].NoRecovery {
+				t.Fatalf("goodput must be monotone: %+v -> %+v", pts[i-1], p)
+			}
+		}
+	}
+	last := pts[len(pts)-1]
+	if last.WithRTR != last.NoRecovery {
+		t.Errorf("series must converge: %.3f vs %.3f", last.WithRTR, last.NoRecovery)
+	}
+	if last.NoRecovery <= 0 || last.NoRecovery > 1 {
+		t.Errorf("final availability %.3f out of range", last.NoRecovery)
+	}
+	// Early on, RTR must be strictly ahead (it restores flows right
+	// after detection, long before classic convergence).
+	early := pts[len(pts)/3]
+	if early.WithRTR <= early.NoRecovery {
+		t.Errorf("RTR should lead during convergence: t=%v rtr=%.3f norec=%.3f",
+			early.T, early.WithRTR, early.NoRecovery)
+	}
+	t.Logf("at %v: no-recovery %.1f%%, with RTR %.1f%%; final %.1f%%",
+		early.T, 100*early.NoRecovery, 100*early.WithRTR, 100*last.NoRecovery)
+}
+
+func TestGoodputSeriesEmptyWorldOK(t *testing.T) {
+	w, err := NewWorld("AS1239", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := GoodputSeries(w, LossConfig{Scenarios: 0, Timers: igp.TunedTimers(), Seed: 1}, time.Second)
+	if pts != nil {
+		t.Errorf("no scenarios must yield nil series, got %d points", len(pts))
+	}
+}

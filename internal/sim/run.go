@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/routing"
+	"repro/internal/spt"
+)
+
+// RTRResult is RTR's metric record for one test case.
+type RTRResult struct {
+	// Recovered reports end-to-end delivery over the recovery path.
+	Recovered bool
+	// Optimal reports delivery over the exact post-failure shortest
+	// path; by Theorem 2 it equals Recovered.
+	Optimal bool
+	// Stretch is recovery-path hops divided by the true post-failure
+	// shortest hops (1 when recovered; 0 when not applicable).
+	Stretch float64
+	// SPCalcs is the number of shortest-path calculations (the paper's
+	// computational-overhead metric; always 1 for RTR).
+	SPCalcs int
+	// Phase1 is the collection walk; Phase2 the source-routed packet
+	// trajectory (empty when the destination was identified as
+	// unreachable).
+	Phase1, Phase2 routing.Walk
+	// RouteBytes is the phase-2 source-route recording size.
+	RouteBytes int
+	// IdentifiedUnreachable reports that the initiator's pruned view
+	// had no path to the destination, so packets were discarded
+	// immediately (the paper's early-discard behavior).
+	IdentifiedUnreachable bool
+	// WastedHops counts the hops a phase-2 packet traveled before
+	// being discarded (0 when delivered or identified unreachable).
+	WastedHops int
+	// NoLiveNeighbor marks a fully cut-off initiator: recovery is
+	// impossible and nothing was spent.
+	NoLiveNeighbor bool
+}
+
+// RunRTR executes RTR on one case.
+func RunRTR(w *World, c *Case) (RTRResult, error) {
+	var res RTRResult
+	sess, err := w.RTR.NewSession(c.LV, c.Initiator)
+	if err != nil {
+		return res, err
+	}
+	col, err := sess.Collect(c.Trigger)
+	if errors.Is(err, core.ErrNoLiveNeighbor) {
+		res.NoLiveNeighbor = true
+		return res, nil
+	}
+	if err != nil {
+		return res, err
+	}
+	res.Phase1 = col.Walk
+
+	rt, ok := sess.RecoveryPath(c.Dst)
+	res.SPCalcs = sess.SPCalcs()
+	if !ok {
+		res.IdentifiedUnreachable = true
+		return res, nil
+	}
+	res.RouteBytes = 2 * len(rt.Nodes)
+	fwd := sess.ForwardSourceRouted(rt)
+	res.Phase2 = fwd.Walk
+	if !fwd.Delivered {
+		res.WastedHops = fwd.Walk.Hops()
+		return res, nil
+	}
+	res.Recovered = true
+	opt, reachable := truthCost(w, c)
+	if reachable && costEqual(rt.Cost, opt) {
+		res.Optimal = true
+		res.Stretch = 1
+	} else if reachable && opt > 0 {
+		res.Stretch = rt.Cost / opt
+	}
+	return res, nil
+}
+
+// costEqual compares path costs with a relative tolerance: two trees
+// can pick different equal-cost shortest paths whose float sums differ
+// only in summation order.
+func costEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := a
+	if b > scale {
+		scale = b
+	}
+	return d <= 1e-9*(1+scale)
+}
+
+// FCPResult is FCP's metric record for one test case.
+type FCPResult struct {
+	Delivered bool
+	Optimal   bool
+	// Stretch is the delivered trajectory's hops divided by the true
+	// post-failure shortest hops.
+	Stretch float64
+	SPCalcs int
+	Walk    routing.Walk
+	// FinalBytes is the recording size of the final header (carried
+	// failures plus the last source route).
+	FinalBytes int
+	// WastedHops counts the hops traveled before the packet was
+	// discarded (irrecoverable cases).
+	WastedHops int
+}
+
+// RunFCP executes FCP on one case.
+func RunFCP(w *World, c *Case) (FCPResult, error) {
+	var res FCPResult
+	r, err := w.FCP.Recover(c.LV, c.Initiator, c.Dst)
+	if err != nil {
+		return res, err
+	}
+	res.SPCalcs = r.SPCalcs
+	res.Walk = r.Walk
+	res.FinalBytes = r.Header.RecordingBytes()
+	if !r.Delivered {
+		res.WastedHops = r.Walk.Hops()
+		return res, nil
+	}
+	res.Delivered = true
+	opt, reachable := truthCost(w, c)
+	cost := walkCost(w, r.Walk)
+	if reachable && opt > 0 {
+		res.Stretch = cost / opt
+		res.Optimal = costEqual(cost, opt)
+		if res.Optimal {
+			res.Stretch = 1
+		}
+	} else if reachable && opt == 0 {
+		res.Stretch = 1
+		res.Optimal = true
+	}
+	return res, nil
+}
+
+// MRCResult is MRC's metric record for one test case.
+type MRCResult struct {
+	Delivered bool
+	Optimal   bool
+	Stretch   float64
+}
+
+// RunMRC executes MRC on one case.
+func RunMRC(w *World, c *Case) (MRCResult, error) {
+	var res MRCResult
+	r, err := w.MRC.Recover(c.LV, c.Initiator, c.Dst, c.NextHop, c.Trigger)
+	if err != nil {
+		return res, err
+	}
+	if !r.Delivered {
+		return res, nil
+	}
+	res.Delivered = true
+	opt, reachable := truthCost(w, c)
+	cost := walkCost(w, r.Walk)
+	if reachable && opt > 0 {
+		res.Stretch = cost / opt
+		res.Optimal = costEqual(cost, opt)
+		if res.Optimal {
+			res.Stretch = 1
+		}
+	} else if reachable && opt == 0 {
+		res.Stretch = 1
+		res.Optimal = true
+	}
+	return res, nil
+}
+
+// walkCost sums the directional link costs along a packet trajectory
+// (equals the hop count on hop-cost topologies).
+func walkCost(w *World, walk routing.Walk) float64 {
+	total := 0.0
+	for _, rec := range walk.Records {
+		total += w.Topo.G.Link(rec.Link).CostFrom(rec.From)
+	}
+	return total
+}
+
+// truthCost returns the ground-truth post-failure shortest path cost
+// from the case's initiator to its destination.
+func truthCost(w *World, c *Case) (float64, bool) {
+	t := spt.Compute(w.Topo.G, c.Initiator, c.Scenario)
+	return t.CostTo(c.Dst)
+}
+
+// Outcome bundles all three protocols' results on one case.
+type Outcome struct {
+	Case *Case
+	RTR  RTRResult
+	FCP  FCPResult
+	MRC  MRCResult
+	Err  error
+}
+
+// RunAll executes all protocols on every case, in parallel across
+// CPUs, preserving case order in the result slice.
+func RunAll(w *World, cases []*Case) []Outcome {
+	out := make([]Outcome, len(cases))
+	var wg sync.WaitGroup
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cases) {
+		workers = len(cases)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	next := make(chan int)
+	go func() {
+		for i := range cases {
+			next <- i
+		}
+		close(next)
+	}()
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				c := cases[i]
+				o := Outcome{Case: c}
+				var err error
+				if o.RTR, err = RunRTR(w, c); err != nil {
+					o.Err = err
+				} else if o.FCP, err = RunFCP(w, c); err != nil {
+					o.Err = err
+				} else if o.MRC, err = RunMRC(w, c); err != nil {
+					o.Err = err
+				}
+				out[i] = o
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// BytesAt returns the header recording bytes in flight at time t for a
+// packet whose trajectory is walk (1.8 ms per hop) and whose
+// steady-state recording size after the trajectory completes is
+// `steady` (the cached source route used by all subsequent packets).
+func BytesAt(walk routing.Walk, steady int, t time.Duration) int {
+	if t < 0 {
+		return 0
+	}
+	hop := int(t / routing.HopDelay)
+	if hop < len(walk.Records) {
+		return walk.Records[hop].HeaderBytes
+	}
+	return steady
+}
+
+// wastedTransmission applies the paper's Section IV-D metric: the
+// packet size s (1000 bytes plus the recovery header bytes) times the
+// hops h from the recovery initiator to the node discarding the packet.
+func wastedTransmission(headerBytes, hops int) float64 {
+	return float64((routing.PacketBaseBytes + headerBytes) * hops)
+}

@@ -1,0 +1,61 @@
+// Package sim is the experiment harness: it generates the paper's test
+// cases (deduplicated recoverable and irrecoverable recovery
+// instances), runs RTR, FCP and MRC on them with full metric
+// accounting, and provides one runner per table and figure of the
+// paper's evaluation (Tables II-IV, Figs. 7-13).
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/fcp"
+	"repro/internal/mrc"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// World bundles every per-topology artifact the experiments share:
+// the topology, its cross-link index, converged routing tables, and
+// the three recovery engines. A World is immutable after construction
+// and safe for concurrent use.
+type World struct {
+	Topo   *topology.Topology
+	CI     *topology.CrossIndex
+	Tables *routing.Tables
+	RTR    *core.RTR
+	FCP    *fcp.FCP
+	MRC    *mrc.MRC
+}
+
+// NewWorld synthesizes the named Table II topology with the given seed
+// and builds all engines on it.
+func NewWorld(asName string, seed int64, opts ...core.Option) (*World, error) {
+	p, ok := topology.ParamsFor(asName)
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown topology %q", asName)
+	}
+	topo, err := topology.Generate(p, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+	return NewWorldFrom(topo, opts...)
+}
+
+// NewWorldFrom builds a World for an existing topology.
+func NewWorldFrom(topo *topology.Topology, opts ...core.Option) (*World, error) {
+	ci := topology.BuildCrossIndex(topo)
+	m, err := mrc.New(topo, 0)
+	if err != nil {
+		return nil, fmt.Errorf("sim: building MRC for %s: %w", topo.Name, err)
+	}
+	return &World{
+		Topo:   topo,
+		CI:     ci,
+		Tables: routing.ComputeTables(topo),
+		RTR:    core.New(topo, ci, opts...),
+		FCP:    fcp.New(topo),
+		MRC:    m,
+	}, nil
+}

@@ -1,0 +1,77 @@
+package spt
+
+import "repro/internal/graph"
+
+// minHeap is a binary min-heap of (node, dist) entries with lazy
+// deletion: decrease-key is implemented by pushing a fresh entry and
+// discarding stale pops in the Dijkstra loop.
+type minHeap struct {
+	nodes []graph.NodeID
+	dists []float64
+}
+
+func newHeap(capHint int) *minHeap {
+	return &minHeap{
+		nodes: make([]graph.NodeID, 0, capHint),
+		dists: make([]float64, 0, capHint),
+	}
+}
+
+func (h *minHeap) len() int { return len(h.nodes) }
+
+func (h *minHeap) push(v graph.NodeID, d float64) {
+	h.nodes = append(h.nodes, v)
+	h.dists = append(h.dists, d)
+	h.up(len(h.nodes) - 1)
+}
+
+// pop removes and returns the minimum entry; ok is false when empty.
+func (h *minHeap) pop() (v graph.NodeID, d float64, ok bool) {
+	if len(h.nodes) == 0 {
+		return 0, 0, false
+	}
+	v, d = h.nodes[0], h.dists[0]
+	last := len(h.nodes) - 1
+	h.nodes[0], h.dists[0] = h.nodes[last], h.dists[last]
+	h.nodes = h.nodes[:last]
+	h.dists = h.dists[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return v, d, true
+}
+
+func (h *minHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h.dists[p] <= h.dists[i] {
+			return
+		}
+		h.swap(i, p)
+		i = p
+	}
+}
+
+func (h *minHeap) down(i int) {
+	n := len(h.nodes)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.dists[l] < h.dists[min] {
+			min = l
+		}
+		if r < n && h.dists[r] < h.dists[min] {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h.swap(i, min)
+		i = min
+	}
+}
+
+func (h *minHeap) swap(i, j int) {
+	h.nodes[i], h.nodes[j] = h.nodes[j], h.nodes[i]
+	h.dists[i], h.dists[j] = h.dists[j], h.dists[i]
+}

@@ -1,0 +1,45 @@
+package topology_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// Synthesizing a Table II topology: node and link counts are exact,
+// the graph is connected, and the embedding lives in the paper's
+// 2000x2000 area.
+func ExampleGenerate() {
+	p, _ := topology.ParamsFor("AS1239")
+	topo, err := topology.Generate(p, rand.New(rand.NewSource(1)))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%s: %d nodes, %d links, connected: %v\n",
+		topo.Name, topo.G.NumNodes(), topo.G.NumLinks(), topo.G.ConnectedAll(graph.Nothing))
+	// Output:
+	// AS1239: 52 nodes, 84 links, connected: true
+}
+
+// The paper's Fig. 6 worked example ships as a fixture; the failure
+// area cuts exactly the six links of the narrative.
+func ExamplePaperExample() {
+	topo := topology.PaperExample()
+	area := topology.PaperFailureArea()
+	cut := 0
+	for i := 0; i < topo.G.NumLinks(); i++ {
+		id := graph.LinkID(i)
+		l := topo.G.Link(id)
+		if area.IntersectsSegment(topo.LinkSegment(id)) ||
+			area.Contains(topo.Coord(l.A)) || area.Contains(topo.Coord(l.B)) {
+			cut++
+		}
+	}
+	fmt.Printf("%d nodes, %d links, %d links cut by the failure area\n",
+		topo.G.NumNodes(), topo.G.NumLinks(), cut)
+	// Output:
+	// 18 nodes, 30 links, 6 links cut by the failure area
+}

@@ -1,0 +1,101 @@
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// The paper's worked example: the 18-node general graph of Figs. 1, 2,
+// 4 and 6, whose first-phase walk and header contents are tabulated in
+// Table I. Node vK of the paper is NodeID K-1 here; PaperNode converts.
+//
+// The coordinates are not given in the paper; the embedding below is
+// constructed so that every geometric relation the paper's narrative
+// depends on holds:
+//   - the failure area (PaperFailureArea) contains exactly v10 and
+//     cuts exactly the links e6-11 and e4-11 in addition to v10's four
+//     incident links;
+//   - e5-12 crosses e6-11 (Constraint 1's trigger, Fig. 4);
+//   - e11-15 and e11-16 cross e14-12 (the Fig. 6 exclusions);
+//   - the counterclockwise sweep at every hop selects exactly the
+//     next hop of Table I's walk
+//     v6 v5 v4 v9 v13 v14 v12 v11 v12 v8 v7 v6.
+
+// PaperNode returns the NodeID of the paper's node vK (1-based).
+func PaperNode(k int) graph.NodeID {
+	if k < 1 || k > 18 {
+		panic(fmt.Sprintf("topology: paper node v%d out of range", k))
+	}
+	return graph.NodeID(k - 1)
+}
+
+// paperCoords[k-1] is the embedding of the paper's vK.
+var paperCoords = []geom.Point{
+	{X: 300, Y: 560}, // v1
+	{X: 140, Y: 580}, // v2
+	{X: 60, Y: 330},  // v3
+	{X: 330, Y: 470}, // v4
+	{X: 210, Y: 380}, // v5
+	{X: 200, Y: 230}, // v6
+	{X: 60, Y: 200},  // v7
+	{X: 300, Y: 110}, // v8
+	{X: 530, Y: 490}, // v9
+	{X: 430, Y: 350}, // v10
+	{X: 520, Y: 230}, // v11
+	{X: 600, Y: 120}, // v12
+	{X: 660, Y: 560}, // v13
+	{X: 650, Y: 470}, // v14
+	{X: 690, Y: 350}, // v15
+	{X: 760, Y: 230}, // v16
+	{X: 870, Y: 390}, // v17
+	{X: 850, Y: 140}, // v18
+}
+
+// paperLinks lists the example's links as pairs of paper node numbers.
+var paperLinks = [][2]int{
+	{1, 2}, {1, 4}, {1, 13},
+	{2, 5},
+	{3, 5}, {3, 7},
+	{4, 5}, {4, 9}, {4, 11},
+	{5, 6}, {5, 10}, {5, 12},
+	{6, 7}, {6, 11},
+	{7, 8},
+	{8, 12},
+	{9, 10}, {9, 13},
+	{10, 11}, {10, 14},
+	{11, 12}, {11, 15}, {11, 16},
+	{12, 14}, {12, 16},
+	{13, 14},
+	{15, 16}, {15, 17},
+	{16, 18},
+	{17, 18},
+}
+
+// PaperExample returns the Fig. 6 general graph with its embedding.
+func PaperExample() *Topology {
+	g := graph.New(len(paperCoords))
+	for _, lk := range paperLinks {
+		g.MustAddLink(PaperNode(lk[0]), PaperNode(lk[1]))
+	}
+	coords := make([]geom.Point, len(paperCoords))
+	copy(coords, paperCoords)
+	return &Topology{Name: "paper-fig6", G: g, Coords: coords}
+}
+
+// PaperLink returns the example's link between the paper's vA and vB.
+// It panics if the link does not exist; the fixture is static.
+func PaperLink(t *Topology, a, b int) graph.LinkID {
+	id, ok := t.G.LinkBetween(PaperNode(a), PaperNode(b))
+	if !ok {
+		panic(fmt.Sprintf("topology: paper example has no link v%d-v%d", a, b))
+	}
+	return id
+}
+
+// PaperFailureArea is the failure disk of the worked example: it
+// contains exactly v10 and additionally cuts e6-11 and e4-11.
+func PaperFailureArea() geom.Disk {
+	return geom.Disk{Center: geom.Point{X: 470, Y: 300}, Radius: 75}
+}

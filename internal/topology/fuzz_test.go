@@ -1,0 +1,74 @@
+package topology
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestReadRandomText hammers the topology parser with random line
+// soup: it must never panic and must either reject the input or return
+// a topology that validates and round-trips.
+func TestReadRandomText(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	words := []string{
+		"topology", "node", "link", "t0", "0", "1", "2", "-3", "1e9",
+		"NaN", "x", "#", "", "link link", "9999999999",
+	}
+	for i := 0; i < 5000; i++ {
+		var sb strings.Builder
+		lines := rng.Intn(12)
+		for l := 0; l < lines; l++ {
+			fields := 1 + rng.Intn(5)
+			for f := 0; f < fields; f++ {
+				if f > 0 {
+					sb.WriteByte(' ')
+				}
+				sb.WriteString(words[rng.Intn(len(words))])
+			}
+			sb.WriteByte('\n')
+		}
+		topo, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			continue
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("accepted topology fails validation: %v\ninput:\n%s", err, sb.String())
+		}
+		var out strings.Builder
+		if err := Write(&out, topo); err != nil {
+			t.Fatalf("accepted topology fails to serialize: %v", err)
+		}
+		back, err := Read(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("round trip of accepted topology fails: %v\n%s", err, out.String())
+		}
+		if back.G.NumNodes() != topo.G.NumNodes() || back.G.NumLinks() != topo.G.NumLinks() {
+			t.Fatal("round trip changed the graph")
+		}
+	}
+}
+
+// TestReadMutatedValid flips characters of a valid file: the parser
+// must stay panic-free.
+func TestReadMutatedValid(t *testing.T) {
+	var base strings.Builder
+	if err := Write(&base, PaperExample()); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(82))
+	src := base.String()
+	for i := 0; i < 2000; i++ {
+		b := []byte(src)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			b[rng.Intn(len(b))] = byte(32 + rng.Intn(95))
+		}
+		topo, err := Read(strings.NewReader(string(b)))
+		if err != nil {
+			continue
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("accepted mutated topology fails validation: %v", err)
+		}
+	}
+}

@@ -1,0 +1,121 @@
+// Package topology provides embedded network topologies: a graph plus
+// planar coordinates for every router, the precomputed cross-link
+// index RTR's forwarding rule consults, an ISP-like topology generator
+// matching the paper's Table II, the paper's worked-example fixture
+// (Figs. 1/2/4/6, Table I), and a text codec.
+//
+// Following the paper's setup, coordinates are drawn uniformly at
+// random from a 2000x2000 area and are independent of the graph
+// structure; links are straight segments between router coordinates.
+package topology
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// Width and Height of the simulation area used throughout the paper.
+const (
+	Width  = 2000.0
+	Height = 2000.0
+)
+
+// Topology is a graph embedded in the plane.
+type Topology struct {
+	Name   string
+	G      *graph.Graph
+	Coords []geom.Point // indexed by graph.NodeID
+}
+
+// Validate checks the internal consistency of the topology.
+func (t *Topology) Validate() error {
+	if t.G == nil {
+		return fmt.Errorf("topology %q: nil graph", t.Name)
+	}
+	if len(t.Coords) != t.G.NumNodes() {
+		return fmt.Errorf("topology %q: %d coords for %d nodes", t.Name, len(t.Coords), t.G.NumNodes())
+	}
+	return nil
+}
+
+// Coord returns the coordinates of node v.
+func (t *Topology) Coord(v graph.NodeID) geom.Point { return t.Coords[v] }
+
+// LinkSegment returns the straight segment drawn by link id.
+func (t *Topology) LinkSegment(id graph.LinkID) geom.Segment {
+	l := t.G.Link(id)
+	return geom.Segment{A: t.Coords[l.A], B: t.Coords[l.B]}
+}
+
+// CrossIndex is the precomputed "links across each link" table the
+// paper's routers maintain: for every link, the set of links whose
+// segments cross it. It is symmetric by construction.
+type CrossIndex struct {
+	crossing [][]graph.LinkID
+	bits     []uint64 // flattened E x E bit matrix for O(1) queries
+	n        int
+}
+
+// BuildCrossIndex computes the cross-link table for t.
+func BuildCrossIndex(t *Topology) *CrossIndex {
+	e := t.G.NumLinks()
+	segs := make([]geom.Segment, e)
+	for i := 0; i < e; i++ {
+		segs[i] = t.LinkSegment(graph.LinkID(i))
+	}
+	ci := &CrossIndex{
+		crossing: make([][]graph.LinkID, e),
+		bits:     make([]uint64, (e*e+63)/64),
+		n:        e,
+	}
+	for i := 0; i < e; i++ {
+		for j := i + 1; j < e; j++ {
+			if segs[i].Crosses(segs[j]) {
+				ci.crossing[i] = append(ci.crossing[i], graph.LinkID(j))
+				ci.crossing[j] = append(ci.crossing[j], graph.LinkID(i))
+				ci.setBit(i, j)
+				ci.setBit(j, i)
+			}
+		}
+	}
+	return ci
+}
+
+func (ci *CrossIndex) setBit(i, j int) {
+	k := i*ci.n + j
+	ci.bits[k/64] |= 1 << (k % 64)
+}
+
+// Cross reports whether links a and b cross each other.
+func (ci *CrossIndex) Cross(a, b graph.LinkID) bool {
+	k := int(a)*ci.n + int(b)
+	return ci.bits[k/64]&(1<<(k%64)) != 0
+}
+
+// Crossing returns the links that cross link a. The returned slice is
+// shared and must not be modified.
+func (ci *CrossIndex) Crossing(a graph.LinkID) []graph.LinkID {
+	return ci.crossing[a]
+}
+
+// CrossesAny reports whether link a crosses any link in set, where set
+// is a list of link IDs (as carried in a packet's cross_link field).
+func (ci *CrossIndex) CrossesAny(a graph.LinkID, set []graph.LinkID) bool {
+	for _, b := range set {
+		if ci.Cross(a, b) {
+			return true
+		}
+	}
+	return false
+}
+
+// NumCrossings returns the total number of unordered crossing pairs.
+func (ci *CrossIndex) NumCrossings() int {
+	total := 0
+	for _, c := range ci.crossing {
+		total += len(c)
+	}
+	return total / 2
+}
