@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: check vet build test race bench-smoke bench clean
+
+## check: the full pre-merge gate — vet, build, race-enabled tests, and
+## a one-iteration pass over every benchmark so bench code can't rot.
+check: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench-smoke: compile-and-run every benchmark once (correctness of
+## the bench harness, not timing).
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+## bench: the numbers that back BENCH_<date>.json — full suite with
+## allocation stats.
+bench:
+	$(GO) test -run xxx -bench . -benchtime 50x -benchmem .
+
+clean:
+	rm -f repro.test

@@ -7,7 +7,9 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -295,6 +297,92 @@ func BenchmarkDijkstra(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		spt.Compute(topo.G, graph.NodeID(i%topo.G.NumNodes()), graph.Nothing)
+	}
+}
+
+// BenchmarkSPTCompute measures one full shortest-path-tree computation
+// through the package-level entry point (owned result tree, pooled
+// internal scratch), reporting allocations.
+func BenchmarkSPTCompute(b *testing.B) {
+	topo := topology.GenerateAS("AS7018", 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spt.Compute(topo.G, graph.NodeID(i%topo.G.NumNodes()), graph.Nothing)
+	}
+}
+
+// BenchmarkSPTComputeWorkspace measures the same computation through a
+// reused Workspace (scratch result tree): the allocation-free hot path.
+func BenchmarkSPTComputeWorkspace(b *testing.B) {
+	topo := topology.GenerateAS("AS7018", 1)
+	ws := spt.GetWorkspace()
+	defer ws.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Compute(topo.G, graph.NodeID(i%topo.G.NumNodes()), graph.Nothing)
+	}
+}
+
+// BenchmarkSPTRecompute measures the incremental SPT update through
+// the package-level entry point, reporting allocations.
+func BenchmarkSPTRecompute(b *testing.B) {
+	topo := topology.GenerateAS("AS3561", 1)
+	base := spt.Compute(topo.G, 0, graph.Nothing)
+	extra := graph.NewMask(topo.G)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10; i++ {
+		extra.FailLink(graph.LinkID(rng.Intn(topo.G.NumLinks())))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		spt.Recompute(topo.G, base, graph.Nothing, extra)
+	}
+}
+
+// BenchmarkSPTRecomputeWorkspace measures the incremental update into
+// workspace scratch, the allocation-free variant RTR's phase 2 mirrors.
+func BenchmarkSPTRecomputeWorkspace(b *testing.B) {
+	topo := topology.GenerateAS("AS3561", 1)
+	base := spt.Compute(topo.G, 0, graph.Nothing)
+	extra := graph.NewMask(topo.G)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10; i++ {
+		extra.FailLink(graph.LinkID(rng.Intn(topo.G.NumLinks())))
+	}
+	ws := spt.GetWorkspace()
+	defer ws.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Recompute(topo.G, base, graph.Nothing, extra)
+	}
+}
+
+// BenchmarkRunAllParallelScaling measures the case runner at 1, 2, and
+// GOMAXPROCS workers on the shared dataset's workload — the scaling
+// that the truth-tree cache and the per-node clean-tree warm-up
+// unlock (both used to serialize or duplicate Dijkstra work).
+func BenchmarkRunAllParallelScaling(b *testing.B) {
+	d := sharedDataset(b)
+	cases := make([]*sim.Case, 0, len(d.Rec)+len(d.Irr))
+	for _, o := range d.Rec {
+		cases = append(cases, o.Case)
+	}
+	for _, o := range d.Irr {
+		cases = append(cases, o.Case)
+	}
+	workers := []int{1, 2, runtime.GOMAXPROCS(0)}
+	for _, n := range workers {
+		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sim.RunAllN(d.World, cases, n)
+			}
+			b.ReportMetric(float64(len(cases))*float64(b.N)/b.Elapsed().Seconds(), "cases/sec")
+		})
 	}
 }
 

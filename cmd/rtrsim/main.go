@@ -11,6 +11,12 @@
 // Experiments: table2 table3 table4 fig7 fig8 fig9 fig10 fig11 fig12
 // fig13 loss ablation netsim multiarea (and "all"). Pass -csv <dir> to also write
 // machine-readable CSV files for plotting.
+//
+// Profiling and performance tracking:
+//
+//	rtrsim -exp table3 -cpuprofile cpu.out  # pprof CPU profile
+//	rtrsim -exp table3 -memprofile mem.out  # pprof heap profile
+//	rtrsim -exp table3 -bench-json .        # write BENCH_<date>.json
 package main
 
 import (
@@ -20,6 +26,8 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -28,6 +36,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/igp"
 	"repro/internal/netsim"
+	"repro/internal/perf"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -36,15 +45,60 @@ import (
 
 func main() {
 	var (
-		expFlag   = flag.String("exp", "all", "comma-separated experiments: table2,table3,table4,fig7..fig13,all")
-		asFlag    = flag.String("as", "all", "comma-separated Table II topologies (e.g. AS209,AS7018) or 'all'")
-		cases     = flag.Int("cases", 2000, "recoverable and irrecoverable test cases per topology")
-		seed      = flag.Int64("seed", 1, "base random seed (topology synthesis and workloads)")
-		fig11Area = flag.Int("fig11-areas", 200, "failure areas per radius for fig11")
-		lossScen  = flag.Int("loss-scenarios", 40, "failure scenarios for the loss experiment")
-		csvDir    = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+		expFlag    = flag.String("exp", "all", "comma-separated experiments: table2,table3,table4,fig7..fig13,all")
+		asFlag     = flag.String("as", "all", "comma-separated Table II topologies (e.g. AS209,AS7018) or 'all'")
+		cases      = flag.Int("cases", 2000, "recoverable and irrecoverable test cases per topology")
+		seed       = flag.Int64("seed", 1, "base random seed (topology synthesis and workloads)")
+		fig11Area  = flag.Int("fig11-areas", 200, "failure areas per radius for fig11")
+		lossScen   = flag.Int("loss-scenarios", 40, "failure scenarios for the loss experiment")
+		csvDir     = flag.String("csv", "", "also write machine-readable CSVs into this directory")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
+		benchJSON  = flag.String("bench-json", "", "write a BENCH_<date>.json performance record into this directory (or to the given .json path)")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtrsim: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "rtrsim: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rtrsim: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "rtrsim: memprofile: %v\n", err)
+			}
+		}()
+	}
+	var rec *perf.Recorder
+	if *benchJSON != "" {
+		rec = perf.NewRecorder()
+		defer func() {
+			path, err := rec.WriteFile(*benchJSON)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rtrsim: bench-json: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "rtrsim: wrote %s\n", path)
+		}()
+	}
 
 	names := topology.ASNames()
 	if *asFlag != "all" {
@@ -78,10 +132,14 @@ func main() {
 	var datasets []*sim.Dataset
 	var worlds []*sim.World
 	for _, name := range names {
+		start := time.Now()
 		w, err := sim.NewWorld(name, *seed)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rtrsim: %v\n", err)
 			os.Exit(1)
+		}
+		if rec != nil {
+			rec.Observe("world-build", name, time.Since(start), 0)
 		}
 		worlds = append(worlds, w)
 	}
@@ -90,8 +148,12 @@ func main() {
 		for _, w := range worlds {
 			start := time.Now()
 			d := sim.BuildDataset(w, cfg)
+			elapsed := time.Since(start)
 			fmt.Fprintf(os.Stderr, "rtrsim: dataset %s (%d+%d cases) in %v\n",
-				w.Topo.Name, len(d.Rec), len(d.Irr), time.Since(start).Round(time.Millisecond))
+				w.Topo.Name, len(d.Rec), len(d.Irr), elapsed.Round(time.Millisecond))
+			if rec != nil {
+				rec.Observe("dataset-build", w.Topo.Name, elapsed, len(d.Rec)+len(d.Irr))
+			}
 			datasets = append(datasets, d)
 		}
 	}

@@ -3,7 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/graph"
@@ -106,6 +106,34 @@ type dirEdge struct {
 	to   graph.NodeID
 }
 
+// sweepCand is one admissible neighbor with its sweep-order keys.
+type sweepCand struct {
+	he    graph.Halfedge
+	angle float64
+	dist2 float64
+}
+
+// collectScratch holds the buffers one phase-1 walk reuses across hops:
+// the candidate scoring and sweep-output slices of sweepCandidates and
+// the walked directed-edge set. Pooling them makes the per-hop cost of
+// a walk allocation-free (the sweep runs at every hop, so without this
+// it dominates the simulator's allocation profile).
+type collectScratch struct {
+	cands []sweepCand
+	out   []graph.Halfedge
+	seen  map[dirEdge]bool
+}
+
+var collectScratchPool = sync.Pool{
+	New: func() any { return &collectScratch{seen: make(map[dirEdge]bool, 64)} },
+}
+
+func getCollectScratch() *collectScratch {
+	cs := collectScratchPool.Get().(*collectScratch)
+	clear(cs.seen)
+	return cs
+}
+
 // winding accumulates the signed angle the walk subtends at probe
 // points placed on the initiator's failed links. A cycle that encloses
 // the failure area winds ±2π around them; a cycle that closed early
@@ -154,6 +182,10 @@ func (r *RTR) collect(lv *routing.LocalView, initiator graph.NodeID, trigger gra
 	h := &res.Header
 	h.Mode = routing.ModeCollect
 	h.RecInit = initiator
+	// Typical failure perimeters are tens of hops; one up-front
+	// reservation replaces the doubling chain of per-hop appends.
+	res.Walk.Reserve(32)
+	res.FieldSizes = make([]FieldSizes, 0, 32)
 
 	// Winding probes: one per unreachable link of the initiator, at
 	// the link's midpoint. The failure area intersects each such link,
@@ -178,7 +210,9 @@ func (r *RTR) collect(lv *routing.LocalView, initiator graph.NodeID, trigger gra
 		}
 	}
 
-	seen := make(map[dirEdge]bool)
+	cs := getCollectScratch()
+	defer collectScratchPool.Put(cs)
+	seen := cs.seen
 	forward := func(from graph.NodeID, he graph.Halfedge) {
 		r.protect(h, he.Link, constrained)
 		seen[dirEdge{he.Link, he.Neighbor}] = true
@@ -187,7 +221,7 @@ func (r *RTR) collect(lv *routing.LocalView, initiator graph.NodeID, trigger gra
 		res.FieldSizes = append(res.FieldSizes, FieldSizes{Failed: len(h.FailedLinks), Cross: len(h.CrossLinks)})
 	}
 
-	cands := r.sweepCandidates(lv, initiator, trigger, h, constrained, false)
+	cands := r.sweepCandidates(cs, lv, initiator, trigger, h, constrained, false)
 	if len(cands) == 0 {
 		return nil, fmt.Errorf("%w: node %d", ErrNoLiveNeighbor, initiator)
 	}
@@ -226,7 +260,7 @@ func (r *RTR) collect(lv *routing.LocalView, initiator graph.NodeID, trigger gra
 			// exploring (the early-closing cycle demonstrably missed
 			// the area). Either way, running out of fresh directed
 			// edges at home ends the phase.
-			cands := r.sweepCandidates(lv, cur, in.Link, h, constrained, true)
+			cands := r.sweepCandidates(cs, lv, cur, in.Link, h, constrained, true)
 			if len(cands) == 0 {
 				return nil, fmt.Errorf("core: initiator %d cannot select a continuation hop", initiator)
 			}
@@ -250,7 +284,7 @@ func (r *RTR) collect(lv *routing.LocalView, initiator graph.NodeID, trigger gra
 		// far end is the initiator (the initiator already knows them).
 		recordUnreachable(lv, g, cur, h)
 
-		cands := r.sweepCandidates(lv, cur, in.Link, h, constrained, true)
+		cands := r.sweepCandidates(cs, lv, cur, in.Link, h, constrained, true)
 		if len(cands) == 0 {
 			// Cannot happen: the link we arrived over is always a
 			// valid candidate (allowIncoming keeps it admissible).
@@ -275,13 +309,18 @@ func (r *RTR) collect(lv *routing.LocalView, initiator graph.NodeID, trigger gra
 	return res, nil
 }
 
-// recordUnreachable applies the paper's Rule 2 recording at node v.
+// recordUnreachable applies the paper's Rule 2 recording at node v. It
+// scans the adjacency directly (same order as lv.UnreachableLinks)
+// rather than materialising the link slice — this runs at every hop.
 func recordUnreachable(lv *routing.LocalView, g *graph.Graph, v graph.NodeID, h *routing.Header) {
-	for _, id := range lv.UnreachableLinks(v) {
-		if g.Link(id).Other(v) == h.RecInit {
+	for _, he := range g.Adj(v) {
+		if !lv.NeighborUnreachable(v, he.Link) {
 			continue
 		}
-		h.RecordFailedLink(id)
+		if he.Neighbor == h.RecInit {
+			continue
+		}
+		h.RecordFailedLink(he.Link)
 	}
 }
 
@@ -329,18 +368,14 @@ func (r *RTR) wouldProtect(h *routing.Header, sel graph.LinkID) bool {
 // incident to the recovery initiator are never excluded — they are
 // where the walk must terminate, and every node can check incidence
 // locally from rec_init in the header.
-func (r *RTR) sweepCandidates(lv *routing.LocalView, v graph.NodeID, ref graph.LinkID, h *routing.Header, constrained, allowIncoming bool) []graph.Halfedge {
+// The returned slice is backed by cs and valid until the next call.
+func (r *RTR) sweepCandidates(cs *collectScratch, lv *routing.LocalView, v graph.NodeID, ref graph.LinkID, h *routing.Header, constrained, allowIncoming bool) []graph.Halfedge {
 	g := r.topo.G
 	refOther := g.Link(ref).Other(v)
 	origin := r.topo.Coord(v)
 	base := r.topo.Coord(refOther).Sub(origin)
 
-	type scored struct {
-		he    graph.Halfedge
-		angle float64
-		dist2 float64
-	}
-	var cands []scored
+	cands := cs.cands[:0]
 	for _, he := range g.Adj(v) {
 		if lv.NeighborUnreachable(v, he.Link) {
 			continue
@@ -352,20 +387,27 @@ func (r *RTR) sweepCandidates(lv *routing.LocalView, v graph.NodeID, ref graph.L
 			}
 		}
 		pos := r.topo.Coord(he.Neighbor)
-		cands = append(cands, scored{he, geom.CCWAngle(base, pos.Sub(origin)), origin.Dist2(pos)})
+		cands = append(cands, sweepCand{he, geom.CCWAngle(base, pos.Sub(origin)), origin.Dist2(pos)})
 	}
 	// Same ordering as geom.SweepOrder: by CCW angle, collinear
-	// candidates nearer-first.
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].angle != cands[j].angle {
-			return cands[i].angle < cands[j].angle
+	// candidates nearer-first. Candidate lists are node-degree-sized,
+	// so insertion sort wins over sort.Slice and allocates nothing.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0; j-- {
+			a, b := &cands[j-1], &cands[j]
+			if b.angle < a.angle || (b.angle == a.angle && b.dist2 < a.dist2) {
+				cands[j-1], cands[j] = cands[j], cands[j-1]
+			} else {
+				break
+			}
 		}
-		return cands[i].dist2 < cands[j].dist2
-	})
-	out := make([]graph.Halfedge, len(cands))
-	for i, c := range cands {
-		out[i] = c.he
 	}
+	cs.cands = cands
+	out := cs.out[:0]
+	for _, c := range cands {
+		out = append(out, c.he)
+	}
+	cs.out = out
 	return out
 }
 

@@ -41,8 +41,12 @@ type RTR struct {
 	// enclosure verification; see WithPaperTermination.
 	paperTermination bool
 
-	mu    sync.Mutex
-	clean []*spt.Tree // lazily cached pre-failure forward SPT per node
+	// Lazily cached pre-failure forward SPT per node. Each entry is
+	// guarded by its own sync.Once so concurrent sessions warm up
+	// different roots in parallel — a single engine-wide mutex here
+	// used to serialize every RunAll worker behind full Dijkstra runs.
+	cleanOnce []sync.Once
+	clean     []*spt.Tree
 }
 
 // Option configures an RTR engine.
@@ -64,9 +68,10 @@ func New(topo *topology.Topology, ci *topology.CrossIndex, opts ...Option) *RTR 
 		ci = topology.BuildCrossIndex(topo)
 	}
 	r := &RTR{
-		topo:  topo,
-		ci:    ci,
-		clean: make([]*spt.Tree, topo.G.NumNodes()),
+		topo:      topo,
+		ci:        ci,
+		cleanOnce: make([]sync.Once, topo.G.NumNodes()),
+		clean:     make([]*spt.Tree, topo.G.NumNodes()),
 	}
 	for _, o := range opts {
 		o(r)
@@ -84,11 +89,9 @@ func (r *RTR) CrossIndex() *topology.CrossIndex { return r.ci }
 // rooted at v — the SPT every link-state router maintains anyway, which
 // phase 2's incremental recomputation starts from.
 func (r *RTR) cleanTree(v graph.NodeID) *spt.Tree {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.clean[v] == nil {
+	r.cleanOnce[v].Do(func() {
 		r.clean[v] = spt.Compute(r.topo.G, v, graph.Nothing)
-	}
+	})
 	return r.clean[v]
 }
 

@@ -70,18 +70,27 @@ func (f *FCP) Recover(lv *routing.LocalView, initiator, dst graph.NodeID) (Resul
 	res.Header.RecInit = initiator
 
 	cur := initiator
+	// The pruned view only accumulates failures across iterations, so
+	// one mask serves the whole recovery; likewise one pooled Dijkstra
+	// workspace serves every recomputation (the tree is consumed before
+	// the next iteration overwrites the scratch buffers).
+	m := graph.NewMask(g)
+	ws := spt.GetWorkspace()
+	defer ws.Release()
 	for iter := 0; iter < f.maxRecomputes(); iter++ {
-		// Record everything the current router can observe.
-		for _, id := range lv.UnreachableLinks(cur) {
-			res.Header.RecordFailedLink(id)
+		// Record everything the current router can observe (adjacency
+		// scan, same order as lv.UnreachableLinks, without the slice).
+		for _, he := range g.Adj(cur) {
+			if lv.NeighborUnreachable(cur, he.Link) {
+				res.Header.RecordFailedLink(he.Link)
+			}
 		}
 
 		// Recompute a shortest path in the pruned view.
-		m := graph.NewMask(g)
 		for _, id := range res.Header.FailedLinks {
 			m.FailLink(id)
 		}
-		tree := spt.Compute(g, cur, m)
+		tree := ws.Compute(g, cur, m)
 		res.SPCalcs++
 		nodes, ok := tree.PathNodes(dst)
 		if !ok {

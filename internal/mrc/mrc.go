@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/routing"
 	"repro/internal/spt"
 	"repro/internal/topology"
@@ -203,10 +204,13 @@ func (m *MRC) buildTrees() {
 	m.trees = make([][]*spt.Tree, m.k)
 	for c := 0; c < m.k; c++ {
 		m.trees[c] = make([]*spt.Tree, n)
-		for d := 0; d < n; d++ {
-			m.trees[c][d] = spt.ComputeReverse(m.topo.G, graph.NodeID(d), cfgDenied{m: m, c: c, dst: graph.NodeID(d)})
-		}
 	}
+	// The k*n per-configuration trees are independent of one another
+	// (isolCfg is read-only by now): build the whole matrix in parallel.
+	par.For(m.k*n, 0, func(i int) {
+		c, d := i/n, graph.NodeID(i%n)
+		m.trees[c][d] = spt.ComputeReverse(m.topo.G, d, cfgDenied{m: m, c: c, dst: d})
+	})
 }
 
 // Route returns the path from src to dst in configuration c, avoiding

@@ -1,0 +1,50 @@
+// Package par provides the tiny work-distribution primitives the
+// simulator's embarrassingly parallel loops share: per-destination
+// routing table builds, MRC's per-configuration tree matrix, and the
+// test-case runner all fan out over an index space with no
+// cross-iteration dependencies.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// For runs fn(i) for every i in [0, n), distributed over up to
+// `workers` goroutines (GOMAXPROCS when workers <= 0). Iterations are
+// claimed from a shared atomic counter, so uneven iteration costs
+// balance automatically. For returns when all iterations are done.
+func For(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,29 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 3, runtime.GOMAXPROCS(0) + 2} {
+		const n = 1000
+		hits := make([]atomic.Int32, n)
+		For(n, workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestForEmpty(t *testing.T) {
+	called := false
+	For(0, 4, func(int) { called = true })
+	For(-3, 4, func(int) { called = true })
+	if called {
+		t.Error("fn must not be called for empty ranges")
+	}
+}

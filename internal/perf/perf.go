@@ -1,0 +1,120 @@
+// Package perf records the simulator's performance trajectory:
+// cmd/rtrsim instruments its expensive phases (world construction,
+// dataset builds) and writes a BENCH_<date>.json snapshot so future
+// changes can be checked for regressions against a committed record
+// (ns/op, cases/sec, per topology).
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Entry is one timed phase of a run.
+type Entry struct {
+	// Name identifies the phase, e.g. "world-build" or "dataset-build".
+	Name string `json:"name"`
+	// Topology is the Table II topology the phase ran on ("" for
+	// topology-independent phases).
+	Topology string `json:"topology,omitempty"`
+	// NsPerOp is the wall-clock duration of the phase in nanoseconds.
+	NsPerOp int64 `json:"ns_per_op"`
+	// Cases is the number of test cases processed (0 when not a
+	// case-driven phase).
+	Cases int `json:"cases,omitempty"`
+	// CasesPerSec is the throughput when Cases > 0.
+	CasesPerSec float64 `json:"cases_per_sec,omitempty"`
+}
+
+// Record is the JSON document a run emits.
+type Record struct {
+	// Date is the run date (YYYY-MM-DD).
+	Date string `json:"date"`
+	// GoVersion and MaxProcs pin the environment the numbers were
+	// measured under.
+	GoVersion string  `json:"go_version"`
+	MaxProcs  int     `json:"gomaxprocs"`
+	Entries   []Entry `json:"entries"`
+}
+
+// Recorder accumulates entries; safe for concurrent use.
+type Recorder struct {
+	mu      sync.Mutex
+	now     time.Time
+	entries []Entry
+}
+
+// NewRecorder returns a Recorder stamped with the current time.
+func NewRecorder() *Recorder {
+	return &Recorder{now: time.Now()}
+}
+
+// Observe records one timed phase.
+func (r *Recorder) Observe(name, topology string, d time.Duration, cases int) {
+	e := Entry{Name: name, Topology: topology, NsPerOp: d.Nanoseconds(), Cases: cases}
+	if cases > 0 && d > 0 {
+		e.CasesPerSec = float64(cases) / d.Seconds()
+	}
+	r.mu.Lock()
+	r.entries = append(r.entries, e)
+	r.mu.Unlock()
+}
+
+// Time runs fn and records its duration under (name, topology).
+func (r *Recorder) Time(name, topology string, cases int, fn func()) {
+	start := time.Now()
+	fn()
+	r.Observe(name, topology, time.Since(start), cases)
+}
+
+// Record returns the accumulated document.
+func (r *Recorder) Record() Record {
+	r.mu.Lock()
+	entries := make([]Entry, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+	sort.SliceStable(entries, func(i, j int) bool {
+		if entries[i].Name != entries[j].Name {
+			return entries[i].Name < entries[j].Name
+		}
+		return entries[i].Topology < entries[j].Topology
+	})
+	return Record{
+		Date:      r.now.Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+		Entries:   entries,
+	}
+}
+
+// WriteFile writes the record as indented JSON. When path is a
+// directory (or empty), the file is named BENCH_<date>.json inside it;
+// a path ending in .json is used verbatim. It returns the path
+// written.
+func (r *Recorder) WriteFile(path string) (string, error) {
+	rec := r.Record()
+	out := path
+	if out == "" {
+		out = "."
+	}
+	if !strings.HasSuffix(out, ".json") {
+		out = filepath.Join(out, fmt.Sprintf("BENCH_%s.json", rec.Date))
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if dir := filepath.Dir(out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return "", err
+		}
+	}
+	return out, os.WriteFile(out, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,65 @@
+package perf
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecorderRoundTrip(t *testing.T) {
+	r := NewRecorder()
+	r.Observe("dataset-build", "AS1239", 2*time.Second, 800)
+	r.Time("world-build", "AS209", 0, func() {})
+
+	rec := r.Record()
+	if len(rec.Entries) != 2 {
+		t.Fatalf("entries = %d, want 2", len(rec.Entries))
+	}
+	// Entries are sorted by (name, topology).
+	if rec.Entries[0].Name != "dataset-build" || rec.Entries[1].Name != "world-build" {
+		t.Fatalf("unexpected order: %+v", rec.Entries)
+	}
+	if got := rec.Entries[0].CasesPerSec; got != 400 {
+		t.Errorf("CasesPerSec = %v, want 400", got)
+	}
+
+	dir := t.TempDir()
+	path, err := r.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := filepath.Base(path)
+	if !strings.HasPrefix(base, "BENCH_") || !strings.HasSuffix(base, ".json") {
+		t.Errorf("file name %q, want BENCH_<date>.json", base)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Record
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Date != rec.Date || len(back.Entries) != 2 || back.MaxProcs != rec.MaxProcs {
+		t.Errorf("round trip mismatch: %+v vs %+v", back, rec)
+	}
+}
+
+func TestWriteFileExplicitJSONPath(t *testing.T) {
+	r := NewRecorder()
+	r.Observe("x", "", time.Millisecond, 0)
+	want := filepath.Join(t.TempDir(), "sub", "bench.json")
+	got, err := r.WriteFile(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("path = %q, want %q", got, want)
+	}
+	if _, err := os.Stat(want); err != nil {
+		t.Error(err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/graph"
+	"repro/internal/par"
 	"repro/internal/spt"
 	"repro/internal/topology"
 )
@@ -32,9 +33,11 @@ func ComputeTables(topo *topology.Topology) *Tables {
 func ComputeTablesUnder(topo *topology.Topology, d graph.Denied) *Tables {
 	n := topo.G.NumNodes()
 	t := &Tables{topo: topo, byDst: make([]*spt.Tree, n)}
-	for dst := 0; dst < n; dst++ {
+	// One reverse tree per destination, fully independent: fan out
+	// across CPUs (scratch state comes from the spt workspace pool).
+	par.For(n, 0, func(dst int) {
 		t.byDst[dst] = spt.ComputeReverse(topo.G, graph.NodeID(dst), d)
-	}
+	})
 	return t
 }
 

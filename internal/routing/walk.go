@@ -25,6 +25,16 @@ type Walk struct {
 // Append adds a hop to the walk.
 func (w *Walk) Append(r HopRecord) { w.Records = append(w.Records, r) }
 
+// Reserve pre-sizes the record slice for a walk expected to reach n
+// hops, so repeated Appends don't regrow it.
+func (w *Walk) Reserve(n int) {
+	if cap(w.Records)-len(w.Records) < n {
+		grown := make([]HopRecord, len(w.Records), len(w.Records)+n)
+		copy(grown, w.Records)
+		w.Records = grown
+	}
+}
+
 // Hops returns the number of link traversals.
 func (w *Walk) Hops() int { return len(w.Records) }
 

@@ -168,8 +168,7 @@ func GoodputSeries(w *World, cfg LossConfig, step time.Duration) []GoodputPoint 
 			if o.Err != nil {
 				continue
 			}
-			c := o.Case
-			f := flow{noRecAt: pathConvergence(w, conv, c)}
+			f := flow{noRecAt: pathConvergence(w, conv, o)}
 			if o.RTR.Recovered {
 				f.rtrAt = cfg.Timers.Detection + o.RTR.Phase1.Duration()
 				if f.rtrAt > f.noRecAt {
@@ -213,9 +212,15 @@ func GoodputSeries(w *World, cfg LossConfig, step time.Duration) []GoodputPoint 
 
 // pathConvergence estimates when IGP convergence restores a flow: the
 // latest convergence time among the routers on the post-failure
-// shortest path from the initiator to the destination.
-func pathConvergence(w *World, conv *igp.Convergence, c *Case) time.Duration {
-	tree := spt.Compute(w.Topo.G, c.Initiator, c.Scenario)
+// shortest path from the initiator to the destination. The outcome's
+// shared truth tree (computed once per scenario and initiator by
+// RunAll) replaces what used to be a redundant full Dijkstra per flow.
+func pathConvergence(w *World, conv *igp.Convergence, o Outcome) time.Duration {
+	c := o.Case
+	tree := o.Truth
+	if tree == nil {
+		tree = spt.Compute(w.Topo.G, c.Initiator, c.Scenario)
+	}
 	nodes, ok := tree.PathNodes(c.Dst)
 	if !ok {
 		return conv.Total

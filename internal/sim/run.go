@@ -2,11 +2,10 @@ package sim
 
 import (
 	"errors"
-	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/par"
 	"repro/internal/routing"
 	"repro/internal/spt"
 )
@@ -42,8 +41,11 @@ type RTRResult struct {
 	NoLiveNeighbor bool
 }
 
-// RunRTR executes RTR on one case.
-func RunRTR(w *World, c *Case) (RTRResult, error) {
+// RunRTR executes RTR on one case. truth is the shared ground-truth
+// post-failure tree rooted at the case's initiator (nil to compute it
+// on demand); RunAll computes it once per (scenario, initiator) pair
+// and shares it across all three protocol runners.
+func RunRTR(w *World, c *Case, truth *spt.Tree) (RTRResult, error) {
 	var res RTRResult
 	sess, err := w.RTR.NewSession(c.LV, c.Initiator)
 	if err != nil {
@@ -73,7 +75,7 @@ func RunRTR(w *World, c *Case) (RTRResult, error) {
 		return res, nil
 	}
 	res.Recovered = true
-	opt, reachable := truthCost(w, c)
+	opt, reachable := truthCost(w, c, truth)
 	if reachable && costEqual(rt.Cost, opt) {
 		res.Optimal = true
 		res.Stretch = 1
@@ -115,8 +117,8 @@ type FCPResult struct {
 	WastedHops int
 }
 
-// RunFCP executes FCP on one case.
-func RunFCP(w *World, c *Case) (FCPResult, error) {
+// RunFCP executes FCP on one case. See RunRTR for the truth parameter.
+func RunFCP(w *World, c *Case, truth *spt.Tree) (FCPResult, error) {
 	var res FCPResult
 	r, err := w.FCP.Recover(c.LV, c.Initiator, c.Dst)
 	if err != nil {
@@ -130,7 +132,7 @@ func RunFCP(w *World, c *Case) (FCPResult, error) {
 		return res, nil
 	}
 	res.Delivered = true
-	opt, reachable := truthCost(w, c)
+	opt, reachable := truthCost(w, c, truth)
 	cost := walkCost(w, r.Walk)
 	if reachable && opt > 0 {
 		res.Stretch = cost / opt
@@ -152,8 +154,8 @@ type MRCResult struct {
 	Stretch   float64
 }
 
-// RunMRC executes MRC on one case.
-func RunMRC(w *World, c *Case) (MRCResult, error) {
+// RunMRC executes MRC on one case. See RunRTR for the truth parameter.
+func RunMRC(w *World, c *Case, truth *spt.Tree) (MRCResult, error) {
 	var res MRCResult
 	r, err := w.MRC.Recover(c.LV, c.Initiator, c.Dst, c.NextHop, c.Trigger)
 	if err != nil {
@@ -163,7 +165,7 @@ func RunMRC(w *World, c *Case) (MRCResult, error) {
 		return res, nil
 	}
 	res.Delivered = true
-	opt, reachable := truthCost(w, c)
+	opt, reachable := truthCost(w, c, truth)
 	cost := walkCost(w, r.Walk)
 	if reachable && opt > 0 {
 		res.Stretch = cost / opt
@@ -189,10 +191,16 @@ func walkCost(w *World, walk routing.Walk) float64 {
 }
 
 // truthCost returns the ground-truth post-failure shortest path cost
-// from the case's initiator to its destination.
-func truthCost(w *World, c *Case) (float64, bool) {
-	t := spt.Compute(w.Topo.G, c.Initiator, c.Scenario)
-	return t.CostTo(c.Dst)
+// from the case's initiator to its destination, reading it from the
+// shared truth tree when one is supplied. With truth == nil the tree
+// is computed on the spot into pooled workspace scratch.
+func truthCost(w *World, c *Case, truth *spt.Tree) (float64, bool) {
+	if truth != nil {
+		return truth.CostTo(c.Dst)
+	}
+	ws := spt.GetWorkspace()
+	defer ws.Release()
+	return ws.Compute(w.Topo.G, c.Initiator, c.Scenario).CostTo(c.Dst)
 }
 
 // Outcome bundles all three protocols' results on one case.
@@ -201,48 +209,37 @@ type Outcome struct {
 	RTR  RTRResult
 	FCP  FCPResult
 	MRC  MRCResult
-	Err  error
+	// Truth is the ground-truth post-failure shortest path tree rooted
+	// at the case's initiator, shared by every case of the same
+	// (scenario, initiator) pair and by all three protocol runners.
+	Truth *spt.Tree
+	Err   error
 }
 
 // RunAll executes all protocols on every case, in parallel across
 // CPUs, preserving case order in the result slice.
 func RunAll(w *World, cases []*Case) []Outcome {
+	return RunAllN(w, cases, 0)
+}
+
+// RunAllN is RunAll with an explicit worker count (GOMAXPROCS when
+// workers <= 0); benchmarks use it to measure parallel scaling.
+func RunAllN(w *World, cases []*Case, workers int) []Outcome {
 	out := make([]Outcome, len(cases))
-	var wg sync.WaitGroup
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(cases) {
-		workers = len(cases)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	next := make(chan int)
-	go func() {
-		for i := range cases {
-			next <- i
+	truths := newTruthCache(w)
+	par.For(len(cases), workers, func(i int) {
+		c := cases[i]
+		o := Outcome{Case: c, Truth: truths.tree(c)}
+		var err error
+		if o.RTR, err = RunRTR(w, c, o.Truth); err != nil {
+			o.Err = err
+		} else if o.FCP, err = RunFCP(w, c, o.Truth); err != nil {
+			o.Err = err
+		} else if o.MRC, err = RunMRC(w, c, o.Truth); err != nil {
+			o.Err = err
 		}
-		close(next)
-	}()
-	wg.Add(workers)
-	for k := 0; k < workers; k++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				c := cases[i]
-				o := Outcome{Case: c}
-				var err error
-				if o.RTR, err = RunRTR(w, c); err != nil {
-					o.Err = err
-				} else if o.FCP, err = RunFCP(w, c); err != nil {
-					o.Err = err
-				} else if o.MRC, err = RunMRC(w, c); err != nil {
-					o.Err = err
-				}
-				out[i] = o
-			}
-		}()
-	}
-	wg.Wait()
+		out[i] = o
+	})
 	return out
 }
 

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/spt"
+)
+
+// truthKey identifies one ground-truth post-failure shortest path
+// tree: the failure scenario and the recovery initiator it is rooted
+// at. Every destination of the same (scenario, initiator) pair shares
+// one tree, and RTR, FCP, and MRC all grade against the same tree —
+// previously each runner recomputed it, a 3x-redundant full Dijkstra
+// per test case.
+type truthKey struct {
+	sc   *failure.Scenario
+	root graph.NodeID
+}
+
+type truthEntry struct {
+	once sync.Once
+	tree *spt.Tree
+}
+
+// truthCache computes and shares ground-truth post-failure trees
+// across the cases of one RunAll invocation. The map mutex is held
+// only for entry lookup; the Dijkstra itself runs under the entry's
+// sync.Once, so workers computing different roots proceed in parallel
+// while workers needing the same root wait for exactly one
+// computation.
+type truthCache struct {
+	w  *World
+	mu sync.Mutex
+	m  map[truthKey]*truthEntry
+}
+
+func newTruthCache(w *World) *truthCache {
+	return &truthCache{w: w, m: make(map[truthKey]*truthEntry)}
+}
+
+// tree returns the shared post-failure forward tree rooted at the
+// case's initiator, computing it on first use.
+func (tc *truthCache) tree(c *Case) *spt.Tree {
+	k := truthKey{sc: c.Scenario, root: c.Initiator}
+	tc.mu.Lock()
+	e := tc.m[k]
+	if e == nil {
+		e = &truthEntry{}
+		tc.m[k] = e
+	}
+	tc.mu.Unlock()
+	e.once.Do(func() {
+		e.tree = spt.Compute(tc.w.Topo.G, c.Initiator, c.Scenario)
+	})
+	return e.tree
+}

@@ -10,11 +10,16 @@ type minHeap struct {
 	dists []float64
 }
 
-func newHeap(capHint int) *minHeap {
-	return &minHeap{
-		nodes: make([]graph.NodeID, 0, capHint),
-		dists: make([]float64, 0, capHint),
+// reset empties the heap, growing its storage to capHint if needed, so
+// one heap can serve many computations without reallocating.
+func (h *minHeap) reset(capHint int) {
+	if cap(h.nodes) < capHint {
+		h.nodes = make([]graph.NodeID, 0, capHint)
+		h.dists = make([]float64, 0, capHint)
+		return
 	}
+	h.nodes = h.nodes[:0]
+	h.dists = h.dists[:0]
 }
 
 func (h *minHeap) len() int { return len(h.nodes) }

@@ -173,24 +173,13 @@ func ComputeReverse(g *graph.Graph, root graph.NodeID, d graph.Denied) *Tree {
 func run(g *graph.Graph, root graph.NodeID, d graph.Denied, kind Kind) *Tree {
 	n := g.NumNodes()
 	t := &Tree{
-		Kind:       kind,
-		Root:       root,
 		Dist:       make([]float64, n),
 		Parent:     make([]int32, n),
 		ParentLink: make([]int32, n),
 	}
-	for i := 0; i < n; i++ {
-		t.Dist[i] = Inf
-		t.Parent[i] = None
-		t.ParentLink[i] = None
-	}
-	if d.NodeDown(root) {
-		return t
-	}
-	t.Dist[root] = 0
-	h := newHeap(n)
-	h.push(root, 0)
-	settle(g, t, d, h, nil)
+	ws := GetWorkspace()
+	defer ws.Release()
+	ws.runInto(t, g, root, d, kind)
 	return t
 }
 
@@ -234,94 +223,9 @@ func settle(g *graph.Graph, t *Tree, d graph.Denied, h *minHeap, scope []bool) {
 // the delete-only case RTR needs: the initiator learns of additional
 // failures and prunes them).
 func Recompute(g *graph.Graph, t *Tree, base, extra graph.Denied) *Tree {
-	n := g.NumNodes()
-	combined := graph.Union{X: base, Y: extra}
 	nt := t.Clone()
-
-	if extra.NodeDown(t.Root) {
-		for i := 0; i < n; i++ {
-			nt.Dist[i] = Inf
-			nt.Parent[i] = None
-			nt.ParentLink[i] = None
-		}
-		return nt
-	}
-
-	// 1. Find directly affected nodes: down themselves, or attached to
-	// the tree through a newly removed link or parent.
-	affected := make([]bool, n)
-	var directly []graph.NodeID
-	for v := 0; v < n; v++ {
-		id := graph.NodeID(v)
-		if math.IsInf(t.Dist[v], 1) {
-			// Unreachable before; deletions cannot help, skip.
-			continue
-		}
-		switch {
-		case extra.NodeDown(id):
-			affected[v] = true
-			directly = append(directly, id)
-		case t.ParentLink[v] != None &&
-			(extra.LinkDown(graph.LinkID(t.ParentLink[v])) || extra.NodeDown(graph.NodeID(t.Parent[v]))):
-			affected[v] = true
-			directly = append(directly, id)
-		}
-	}
-	if len(directly) == 0 {
-		return nt
-	}
-
-	// 2. Extend to all tree descendants of affected nodes.
-	children := make([][]graph.NodeID, n)
-	for v := 0; v < n; v++ {
-		if p := t.Parent[v]; p != None {
-			children[p] = append(children[p], graph.NodeID(v))
-		}
-	}
-	queue := append([]graph.NodeID(nil), directly...)
-	for len(queue) > 0 {
-		v := queue[len(queue)-1]
-		queue = queue[:len(queue)-1]
-		for _, c := range children[v] {
-			if !affected[c] {
-				affected[c] = true
-				queue = append(queue, c)
-			}
-		}
-	}
-
-	// 3. Reset the affected region and seed the heap from the frontier:
-	// live edges leading from unaffected nodes into the region.
-	for v := 0; v < n; v++ {
-		if affected[v] {
-			nt.Dist[v] = Inf
-			nt.Parent[v] = None
-			nt.ParentLink[v] = None
-		}
-	}
-	h := newHeap(n)
-	for v := 0; v < n; v++ {
-		if affected[v] || math.IsInf(nt.Dist[v], 1) {
-			continue
-		}
-		u := graph.NodeID(v)
-		for _, he := range g.Adj(u) {
-			w := he.Neighbor
-			if !affected[w] || combined.NodeDown(w) || combined.LinkDown(he.Link) {
-				continue
-			}
-			l := g.Link(he.Link)
-			nd := nt.Dist[v] + edgeCost(l, nt.Kind, w)
-			if nd < nt.Dist[w] {
-				nt.Dist[w] = nd
-				nt.Parent[w] = int32(u)
-				nt.ParentLink[w] = int32(he.Link)
-				h.push(w, nd)
-			}
-		}
-	}
-
-	// 4. Run Dijkstra restricted to the affected region.
-	settle(g, nt, combined, h, affected)
+	ws := GetWorkspace()
+	defer ws.Release()
+	ws.recomputeInto(nt, g, base, extra)
 	return nt
 }

@@ -377,7 +377,8 @@ func TestPathCostConsistencyProperty(t *testing.T) {
 }
 
 func TestHeapOrdering(t *testing.T) {
-	h := newHeap(0)
+	h := new(minHeap)
+	h.reset(0)
 	vals := []float64{5, 3, 8, 1, 9, 2, 7}
 	for i, d := range vals {
 		h.push(graph.NodeID(i), d)

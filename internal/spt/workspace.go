@@ -1,0 +1,239 @@
+package spt
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Workspace holds the reusable scratch state of the shortest-path
+// engine: the Dijkstra priority queue, a scratch result tree, and the
+// affected-region bookkeeping of incremental recomputation. Reusing a
+// Workspace across calls makes repeat computations allocation-free.
+//
+// The scratch-returning methods (Compute, ComputeReverse, Recompute)
+// return a Tree owned by the workspace: it is valid only until the
+// workspace's next call or Release. Callers that retain trees must
+// Clone them or use the package-level functions, which return owned
+// trees while still sharing pooled scratch internally.
+//
+// A Workspace is single-owner state and not safe for concurrent use;
+// use one per goroutine (GetWorkspace/Release round-trip through a
+// sync.Pool).
+type Workspace struct {
+	h       minHeap
+	scratch Tree
+	// Incremental-recompute scratch: the affected region, the tree's
+	// children lists flattened into intrusive linked lists
+	// (childHead[p] is p's first child, childNext[c] the next
+	// sibling), and the descendant traversal stack.
+	affected  []bool
+	childHead []int32
+	childNext []int32
+	queue     []graph.NodeID
+	// union is the combined failure overlay of the current recompute,
+	// stored here so boxing it into graph.Denied does not allocate.
+	union graph.Union
+}
+
+var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
+
+// GetWorkspace returns a pooled Workspace.
+func GetWorkspace() *Workspace { return wsPool.Get().(*Workspace) }
+
+// Release returns the workspace to the pool. Scratch trees obtained
+// from it must not be used afterwards.
+func (ws *Workspace) Release() { wsPool.Put(ws) }
+
+// Compute is the scratch-tree equivalent of the package-level Compute:
+// the returned tree is owned by the workspace and valid until its next
+// call or Release.
+func (ws *Workspace) Compute(g *graph.Graph, root graph.NodeID, d graph.Denied) *Tree {
+	ws.ensureScratch(g.NumNodes())
+	ws.runInto(&ws.scratch, g, root, d, Forward)
+	return &ws.scratch
+}
+
+// ComputeReverse is the scratch-tree equivalent of the package-level
+// ComputeReverse.
+func (ws *Workspace) ComputeReverse(g *graph.Graph, root graph.NodeID, d graph.Denied) *Tree {
+	ws.ensureScratch(g.NumNodes())
+	ws.runInto(&ws.scratch, g, root, d, Reverse)
+	return &ws.scratch
+}
+
+// Recompute is the scratch-tree equivalent of the package-level
+// Recompute: t must have been computed under base, extra must only
+// remove elements. Passing the workspace's own scratch tree as t is
+// allowed (chained incremental updates).
+func (ws *Workspace) Recompute(g *graph.Graph, t *Tree, base, extra graph.Denied) *Tree {
+	n := g.NumNodes()
+	ws.ensureScratch(n)
+	s := &ws.scratch
+	s.Kind, s.Root = t.Kind, t.Root
+	copy(s.Dist, t.Dist)
+	copy(s.Parent, t.Parent)
+	copy(s.ParentLink, t.ParentLink)
+	ws.recomputeInto(s, g, base, extra)
+	return s
+}
+
+// ensureScratch sizes the workspace's scratch tree for n nodes.
+func (ws *Workspace) ensureScratch(n int) {
+	if cap(ws.scratch.Dist) < n {
+		ws.scratch.Dist = make([]float64, n)
+		ws.scratch.Parent = make([]int32, n)
+		ws.scratch.ParentLink = make([]int32, n)
+		return
+	}
+	ws.scratch.Dist = ws.scratch.Dist[:n]
+	ws.scratch.Parent = ws.scratch.Parent[:n]
+	ws.scratch.ParentLink = ws.scratch.ParentLink[:n]
+}
+
+// ensureAffected returns the affected-region table, sized for n nodes
+// and cleared.
+func (ws *Workspace) ensureAffected(n int) []bool {
+	if cap(ws.affected) < n {
+		ws.affected = make([]bool, n)
+	} else {
+		ws.affected = ws.affected[:n]
+		for i := range ws.affected {
+			ws.affected[i] = false
+		}
+	}
+	return ws.affected
+}
+
+// ensureChildren returns the flattened children lists, sized for n
+// nodes and reset to empty (None everywhere).
+func (ws *Workspace) ensureChildren(n int) (head, next []int32) {
+	if cap(ws.childHead) < n {
+		ws.childHead = make([]int32, n)
+		ws.childNext = make([]int32, n)
+	} else {
+		ws.childHead = ws.childHead[:n]
+		ws.childNext = ws.childNext[:n]
+	}
+	for i := 0; i < n; i++ {
+		ws.childHead[i] = None
+		ws.childNext[i] = None
+	}
+	return ws.childHead, ws.childNext
+}
+
+// runInto resets t for (kind, root) and runs Dijkstra over the live
+// subgraph under d, using the workspace's heap.
+func (ws *Workspace) runInto(t *Tree, g *graph.Graph, root graph.NodeID, d graph.Denied, kind Kind) {
+	n := g.NumNodes()
+	t.Kind, t.Root = kind, root
+	for i := 0; i < n; i++ {
+		t.Dist[i] = Inf
+		t.Parent[i] = None
+		t.ParentLink[i] = None
+	}
+	if d.NodeDown(root) {
+		return
+	}
+	t.Dist[root] = 0
+	ws.h.reset(n)
+	ws.h.push(root, 0)
+	settle(g, t, d, &ws.h, nil)
+}
+
+// recomputeInto performs the incremental update in place on nt, which
+// must be a full copy of a tree computed under base; extra must only
+// remove elements. See the package-level Recompute for the algorithm.
+func (ws *Workspace) recomputeInto(nt *Tree, g *graph.Graph, base, extra graph.Denied) {
+	n := g.NumNodes()
+	ws.union = graph.Union{X: base, Y: extra}
+	combined := graph.Denied(&ws.union)
+
+	if extra.NodeDown(nt.Root) {
+		for i := 0; i < n; i++ {
+			nt.Dist[i] = Inf
+			nt.Parent[i] = None
+			nt.ParentLink[i] = None
+		}
+		return
+	}
+
+	// 1. Find directly affected nodes: down themselves, or attached to
+	// the tree through a newly removed link or parent.
+	affected := ws.ensureAffected(n)
+	queue := ws.queue[:0]
+	for v := 0; v < n; v++ {
+		id := graph.NodeID(v)
+		if nt.Dist[v] == Inf {
+			// Unreachable before; deletions cannot help, skip.
+			continue
+		}
+		switch {
+		case extra.NodeDown(id):
+			affected[v] = true
+			queue = append(queue, id)
+		case nt.ParentLink[v] != None &&
+			(extra.LinkDown(graph.LinkID(nt.ParentLink[v])) || extra.NodeDown(graph.NodeID(nt.Parent[v]))):
+			affected[v] = true
+			queue = append(queue, id)
+		}
+	}
+	if len(queue) == 0 {
+		ws.queue = queue
+		return
+	}
+
+	// 2. Extend to all tree descendants of affected nodes.
+	head, next := ws.ensureChildren(n)
+	for v := 0; v < n; v++ {
+		if p := nt.Parent[v]; p != None {
+			next[v] = head[p]
+			head[p] = int32(v)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for c := head[v]; c != None; c = next[c] {
+			if !affected[c] {
+				affected[c] = true
+				queue = append(queue, graph.NodeID(c))
+			}
+		}
+	}
+	ws.queue = queue
+
+	// 3. Reset the affected region and seed the heap from the frontier:
+	// live edges leading from unaffected nodes into the region.
+	for v := 0; v < n; v++ {
+		if affected[v] {
+			nt.Dist[v] = Inf
+			nt.Parent[v] = None
+			nt.ParentLink[v] = None
+		}
+	}
+	ws.h.reset(n)
+	for v := 0; v < n; v++ {
+		if affected[v] || nt.Dist[v] == Inf {
+			continue
+		}
+		u := graph.NodeID(v)
+		for _, he := range g.Adj(u) {
+			w := he.Neighbor
+			if !affected[w] || combined.NodeDown(w) || combined.LinkDown(he.Link) {
+				continue
+			}
+			l := g.Link(he.Link)
+			nd := nt.Dist[v] + edgeCost(l, nt.Kind, w)
+			if nd < nt.Dist[w] {
+				nt.Dist[w] = nd
+				nt.Parent[w] = int32(u)
+				nt.ParentLink[w] = int32(he.Link)
+				ws.h.push(w, nd)
+			}
+		}
+	}
+
+	// 4. Run Dijkstra restricted to the affected region.
+	settle(g, nt, combined, &ws.h, affected)
+}
