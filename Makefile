@@ -1,10 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench clean
+.PHONY: check vet build test race bench-smoke bench sweep-smoke fuzz-smoke clean
 
-## check: the full pre-merge gate — vet, build, race-enabled tests, and
-## a one-iteration pass over every benchmark so bench code can't rot.
-check: vet build race bench-smoke
+## check: the full pre-merge gate — vet, build, race-enabled tests, a
+## one-iteration pass over every benchmark so bench code can't rot, and
+## an interrupt/resume sweep that must reproduce the uninterrupted run
+## byte for byte.
+check: vet build race bench-smoke sweep-smoke
 
 vet:
 	$(GO) vet ./...
@@ -28,5 +30,27 @@ bench-smoke:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 50x -benchmem .
 
+## sweep-smoke: end-to-end determinism of the sharded sweep. One
+## uninterrupted run, then the same workload interrupted after two
+## shards (-max-shards exits 2, hence the leading -) and resumed from
+## its checkpoint; the two stdouts must be identical.
+SWEEP_ARGS = -exp table3,fig11 -as AS1239 -cases 40 -block 15 -fig11-areas 20 -seed 1
+sweep-smoke:
+	rm -rf .sweep-smoke && mkdir -p .sweep-smoke
+	$(GO) run ./cmd/rtrsim $(SWEEP_ARGS) -workers 2 > .sweep-smoke/full.txt
+	-$(GO) run ./cmd/rtrsim $(SWEEP_ARGS) -workers 1 -state .sweep-smoke/st -max-shards 2 > .sweep-smoke/interrupted.txt 2>/dev/null
+	$(GO) run ./cmd/rtrsim $(SWEEP_ARGS) -workers 4 -state .sweep-smoke/st -resume > .sweep-smoke/resumed.txt
+	cmp .sweep-smoke/full.txt .sweep-smoke/resumed.txt
+	rm -rf .sweep-smoke
+
+## fuzz-smoke: a short native-fuzzing pass over the wire decoder and
+## the topology parser (CI runs this; use go test -fuzz directly for
+## long sessions).
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run xxx -fuzz FuzzDecodeHeader -fuzztime $(FUZZTIME) ./internal/routing
+	$(GO) test -run xxx -fuzz FuzzRead -fuzztime $(FUZZTIME) ./internal/topology
+
 clean:
 	rm -f repro.test
+	rm -rf .sweep-smoke

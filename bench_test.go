@@ -31,23 +31,42 @@ import (
 const benchCases = 400
 
 var (
-	benchOnce sync.Once
-	benchData *sim.Dataset // AS1239 analogue dataset shared by figure benches
-	benchErr  error
+	benchOnce  sync.Once
+	benchData  *sim.Dataset // AS1239 analogue dataset shared by figure benches
+	benchList  []*sim.Case  // the raw cases behind benchData, for case-level benches
+	benchWorld *sim.World
+	benchErr   error
 )
 
-func sharedDataset(b *testing.B) *sim.Dataset {
+func buildBenchData(b *testing.B) {
 	b.Helper()
 	benchOnce.Do(func() {
-		var w *sim.World
-		if w, benchErr = sim.NewWorld("AS1239", 11); benchErr == nil {
-			benchData = sim.BuildDataset(w, sim.Config{Recoverable: benchCases, Irrecoverable: benchCases, Seed: 42})
+		if benchWorld, benchErr = sim.NewWorld("AS1239", 11); benchErr == nil {
+			rng := rand.New(rand.NewSource(42))
+			rec, irr := sim.CollectBoth(benchWorld, rng, benchCases, benchCases)
+			benchList = append(append([]*sim.Case(nil), rec...), irr...)
+			benchData = &sim.Dataset{
+				World: benchWorld,
+				Rec:   sim.Records(sim.RunAll(benchWorld, rec)),
+				Irr:   sim.Records(sim.RunAll(benchWorld, irr)),
+			}
 		}
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)
 	}
+}
+
+func sharedDataset(b *testing.B) *sim.Dataset {
+	b.Helper()
+	buildBenchData(b)
 	return benchData
+}
+
+func sharedCases(b *testing.B) (*sim.World, []*sim.Case) {
+	b.Helper()
+	buildBenchData(b)
+	return benchWorld, benchList
 }
 
 // BenchmarkTable1WalkTrace reproduces Table I: the full phase-1 walk
@@ -366,20 +385,13 @@ func BenchmarkSPTRecomputeWorkspace(b *testing.B) {
 // that the truth-tree cache and the per-node clean-tree warm-up
 // unlock (both used to serialize or duplicate Dijkstra work).
 func BenchmarkRunAllParallelScaling(b *testing.B) {
-	d := sharedDataset(b)
-	cases := make([]*sim.Case, 0, len(d.Rec)+len(d.Irr))
-	for _, o := range d.Rec {
-		cases = append(cases, o.Case)
-	}
-	for _, o := range d.Irr {
-		cases = append(cases, o.Case)
-	}
+	w, cases := sharedCases(b)
 	workers := []int{1, 2, runtime.GOMAXPROCS(0)}
 	for _, n := range workers {
 		b.Run(fmt.Sprintf("workers=%d", n), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				sim.RunAllN(d.World, cases, n)
+				sim.RunAllN(w, cases, n)
 			}
 			b.ReportMetric(float64(len(cases))*float64(b.N)/b.Elapsed().Seconds(), "cases/sec")
 		})
@@ -438,12 +450,11 @@ func BenchmarkHeaderCodec(b *testing.B) {
 // BenchmarkPhase1Walk measures one constrained collection walk on a
 // realistic random failure.
 func BenchmarkPhase1Walk(b *testing.B) {
-	d := sharedDataset(b)
-	w := d.World
+	w, cases := sharedCases(b)
 	var c *sim.Case
-	for _, o := range d.Rec {
-		if !o.RTR.NoLiveNeighbor {
-			c = o.Case
+	for _, cand := range cases {
+		if cand.Recoverable {
+			c = cand
 			break
 		}
 	}

@@ -12,6 +12,16 @@
 // fig13 loss ablation netsim multiarea (and "all"). Pass -csv <dir> to also write
 // machine-readable CSV files for plotting.
 //
+// Sweeps (table/figure workloads and fig11) execute as deterministic
+// shards over a worker pool; results are identical for any -workers
+// value. With -state they checkpoint as they go, an interrupt (Ctrl-C)
+// drains gracefully, and -resume continues exactly where the sweep
+// stopped — the final output is bit-identical to an uninterrupted run:
+//
+//	rtrsim -exp all -state run1           # checkpointed run
+//	rtrsim -exp all -state run1 -resume   # continue after interrupt
+//	rtrsim -exp table3 -workers 16        # shard-level parallelism
+//
 // Profiling and performance tracking:
 //
 //	rtrsim -exp table3 -cpuprofile cpu.out  # pprof CPU profile
@@ -20,16 +30,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/failure"
@@ -38,8 +51,10 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/perf"
 	"repro/internal/report"
+	seedpkg "repro/internal/seed"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/topology"
 )
 
@@ -55,8 +70,22 @@ func main() {
 		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProfile = flag.String("memprofile", "", "write a pprof heap profile to this file on exit")
 		benchJSON  = flag.String("bench-json", "", "write a BENCH_<date>.json performance record into this directory (or to the given .json path)")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "parallel sweep shards (results are identical for any value)")
+		blockSize  = flag.Int("block", sweep.DefaultBlockCases, "test cases per sweep shard (checkpoint granularity)")
+		stateDir   = flag.String("state", "", "checkpoint directory (results.jsonl + manifest.json) for resumable sweeps")
+		resume     = flag.Bool("resume", false, "skip shards already recorded in -state and merge their results")
+		maxShards  = flag.Int("max-shards", 0, "stop after executing N shards, exit 2 (exercises the interrupt path deterministically)")
 	)
 	flag.Parse()
+	if *resume && *stateDir == "" {
+		fmt.Fprintln(os.Stderr, "rtrsim: -resume requires -state")
+		os.Exit(1)
+	}
+
+	// Ctrl-C cancels the sweep context: in-flight shards finish and
+	// are checkpointed, queued shards never start.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -129,8 +158,8 @@ func main() {
 		}
 	}
 
-	var datasets []*sim.Dataset
 	var worlds []*sim.World
+	worldsByName := map[string]*sim.World{}
 	for _, name := range names {
 		start := time.Now()
 		w, err := sim.NewWorld(name, *seed)
@@ -142,19 +171,68 @@ func main() {
 			rec.Observe("world-build", name, time.Since(start), 0)
 		}
 		worlds = append(worlds, w)
+		worldsByName[name] = w
 	}
-	if needData {
-		cfg := sim.Config{Recoverable: *cases, Irrecoverable: *cases, Seed: *seed + 1}
-		for _, w := range worlds {
-			start := time.Now()
-			d := sim.BuildDataset(w, cfg)
-			elapsed := time.Since(start)
-			fmt.Fprintf(os.Stderr, "rtrsim: dataset %s (%d+%d cases) in %v\n",
-				w.Topo.Name, len(d.Rec), len(d.Irr), elapsed.Round(time.Millisecond))
-			if rec != nil {
-				rec.Observe("dataset-build", w.Topo.Name, elapsed, len(d.Rec)+len(d.Irr))
+
+	// All case datasets and the fig11 radius sweep run as one sharded,
+	// checkpointed sweep; every shard seeds its RNG from (seed, shard
+	// key), so the merged output does not depend on -workers or on
+	// interrupt/resume boundaries.
+	var datasets []*sim.Dataset
+	var fig11Series map[string][]sim.Fig11Point
+	if needData || has("fig11") {
+		spec := sweep.Spec{BaseSeed: *seed, Topologies: names, BlockCases: *blockSize}
+		if needData {
+			spec.Recoverable, spec.Irrecoverable = *cases, *cases
+		}
+		if has("fig11") {
+			spec.Fig11Radii = sim.DefaultRadii()
+			spec.Fig11Areas = *fig11Area
+		}
+		eng := &sweep.Engine{
+			Spec:          spec,
+			Worlds:        worldsByName,
+			Workers:       *workers,
+			Dir:           *stateDir,
+			Resume:        *resume,
+			MaxShards:     *maxShards,
+			Progress:      os.Stderr,
+			ProgressEvery: 10 * time.Second,
+			Recorder:      rec,
+		}
+		res, err := eng.Run(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rtrsim: %v\n", err)
+			os.Exit(1)
+		}
+		if res.Interrupted {
+			if *stateDir != "" {
+				fmt.Fprintf(os.Stderr, "rtrsim: interrupted after %d/%d shards; rerun with -resume -state %s to continue\n",
+					len(res.Results), len(res.Plan), *stateDir)
+			} else {
+				fmt.Fprintf(os.Stderr, "rtrsim: interrupted after %d/%d shards; progress not kept (no -state)\n",
+					len(res.Results), len(res.Plan))
 			}
-			datasets = append(datasets, d)
+			os.Exit(2)
+		}
+		if needData {
+			byName, err := res.Datasets(worldsByName)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rtrsim: %v\n", err)
+				os.Exit(1)
+			}
+			for _, w := range worlds {
+				d := byName[w.Topo.Name]
+				fmt.Fprintf(os.Stderr, "rtrsim: dataset %s (%d+%d cases)\n",
+					w.Topo.Name, len(d.Rec), len(d.Irr))
+				datasets = append(datasets, d)
+			}
+		}
+		if has("fig11") {
+			if fig11Series, err = res.Fig11(); err != nil {
+				fmt.Fprintf(os.Stderr, "rtrsim: %v\n", err)
+				os.Exit(1)
+			}
 		}
 	}
 
@@ -176,7 +254,7 @@ func main() {
 		printFig10(datasets)
 	}
 	if has("fig11") {
-		printFig11(worlds, *seed+2, *fig11Area)
+		printFig11(fig11Series, names)
 	}
 	if has("fig12") {
 		printCDFPair(datasets, "Fig. 12 — CDF of wasted computation (irrecoverable)", "calcs",
@@ -190,19 +268,19 @@ func main() {
 		printTable4(datasets)
 	}
 	if has("loss") {
-		printLoss(worlds, *lossScen, *seed+3)
+		printLoss(worlds, *lossScen, seedpkg.Derive(*seed, "loss"))
 	}
 	if has("ablation") {
 		printAblation(names, *seed, *cases)
 	}
 	if has("netsim") {
-		printNetsim(worlds, *seed+4)
+		printNetsim(worlds, seedpkg.Derive(*seed, "netsim"))
 	}
 	if has("multiarea") {
-		printMultiArea(worlds, *seed+5)
+		printMultiArea(worlds, seedpkg.Derive(*seed, "multiarea"))
 	}
 	if *csvDir != "" {
-		if err := writeCSVs(*csvDir, datasets, worlds, has, *seed+2, *fig11Area); err != nil {
+		if err := writeCSVs(*csvDir, datasets, fig11Series, has); err != nil {
 			fmt.Fprintf(os.Stderr, "rtrsim: csv: %v\n", err)
 			os.Exit(1)
 		}
@@ -355,7 +433,7 @@ func printLoss(worlds []*sim.World, scenarios int, seed int64) {
 	fmt.Println()
 }
 
-func writeCSVs(dir string, datasets []*sim.Dataset, worlds []*sim.World, has func(string) bool, fig11Seed int64, fig11Areas int) error {
+func writeCSVs(dir string, datasets []*sim.Dataset, fig11Series map[string][]sim.Fig11Point, has func(string) bool) error {
 	write := func(name string, fn func(io.Writer) error) error {
 		f, err := os.Create(filepath.Join(dir, name))
 		if err != nil {
@@ -423,12 +501,8 @@ func writeCSVs(dir string, datasets []*sim.Dataset, worlds []*sim.World, has fun
 			}
 		}
 	}
-	if has("fig11") {
-		series := map[string][]sim.Fig11Point{}
-		for _, w := range worlds {
-			series[w.Topo.Name] = sim.Fig11(w, fig11Seed, sim.DefaultRadii(), fig11Areas)
-		}
-		if err := write("fig11.csv", func(w io.Writer) error { return report.WriteFig11(w, series) }); err != nil {
+	if has("fig11") && fig11Series != nil {
+		if err := write("fig11.csv", func(w io.Writer) error { return report.WriteFig11(w, fig11Series) }); err != nil {
 			return err
 		}
 	}
@@ -557,18 +631,16 @@ func printFig10(ds []*sim.Dataset) {
 	fmt.Println()
 }
 
-func printFig11(worlds []*sim.World, seed int64, areas int) {
+func printFig11(series map[string][]sim.Fig11Point, names []string) {
 	fmt.Println("Fig. 11 — Percentage of failed routing paths that are irrecoverable")
-	radii := sim.DefaultRadii()
 	fmt.Printf("%-10s", "radius")
-	for _, r := range radii {
+	for _, r := range sim.DefaultRadii() {
 		fmt.Printf(" %6.0f", r)
 	}
 	fmt.Println()
-	for _, w := range worlds {
-		pts := sim.Fig11(w, seed, radii, areas)
-		fmt.Printf("%-10s", w.Topo.Name)
-		for _, p := range pts {
+	for _, as := range names {
+		fmt.Printf("%-10s", as)
+		for _, p := range series[as] {
 			fmt.Printf(" %5.1f%%", p.Percent)
 		}
 		fmt.Println()

@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+// binary builds the rtrsim binary once per test process.
+func binary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "rtrsim-test-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "rtrsim")
+		if out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return binPath
+}
+
+// run executes the binary and returns its stdout and exit code; only
+// stdout is asserted on — stderr carries progress and timings.
+func run(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(binary(t), args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		var ee *exec.ExitError
+		if !errors.As(err, &ee) {
+			t.Fatalf("rtrsim %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	if code != 0 && code != 2 {
+		t.Fatalf("rtrsim %v: exit %d\nstderr:\n%s", args, code, stderr.String())
+	}
+	return stdout.String(), code
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (rerun with -update): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (rerun with -update if intended)\ngot:\n%s", path, got)
+	}
+}
+
+func TestGoldenTable3(t *testing.T) {
+	out, code := run(t, "-exp", "table3", "-as", "AS1239", "-cases", "50", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	checkGolden(t, "table3_as1239.golden", out)
+}
+
+func TestGoldenFig11(t *testing.T) {
+	out, code := run(t, "-exp", "fig11", "-as", "AS1239", "-fig11-areas", "20", "-seed", "1")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	checkGolden(t, "fig11_as1239.golden", out)
+}
+
+// TestOutputIdenticalAcrossWorkers: the sharded sweep must make the
+// CLI's stdout byte-identical for any -workers value.
+func TestOutputIdenticalAcrossWorkers(t *testing.T) {
+	args := func(workers string) []string {
+		return []string{"-exp", "table3,table4,fig11", "-as", "AS1239",
+			"-cases", "40", "-block", "15", "-fig11-areas", "20", "-seed", "3",
+			"-workers", workers}
+	}
+	want, code := run(t, args("1")...)
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, workers := range []string{"4", "16"} {
+		got, code := run(t, args(workers)...)
+		if code != 0 {
+			t.Fatalf("workers=%s: exit %d", workers, code)
+		}
+		if got != want {
+			t.Errorf("-workers %s changed the output", workers)
+		}
+	}
+}
+
+// TestInterruptAndResume: a run stopped after two shards (exit code
+// 2) and resumed with more workers prints exactly the bytes of an
+// uninterrupted run.
+func TestInterruptAndResume(t *testing.T) {
+	base := []string{"-exp", "table3,fig11", "-as", "AS1239",
+		"-cases", "40", "-block", "15", "-fig11-areas", "20", "-seed", "5"}
+	want, code := run(t, append(base, "-workers", "2")...)
+	if code != 0 {
+		t.Fatalf("uninterrupted run: exit %d", code)
+	}
+
+	state := filepath.Join(t.TempDir(), "st")
+	out, code := run(t, append(base, "-workers", "1", "-state", state, "-max-shards", "2")...)
+	if code != 2 {
+		t.Fatalf("interrupted run: exit %d, want 2", code)
+	}
+	if out != "" {
+		t.Errorf("interrupted run printed results:\n%s", out)
+	}
+
+	got, code := run(t, append(base, "-workers", "4", "-state", state, "-resume")...)
+	if code != 0 {
+		t.Fatalf("resumed run: exit %d", code)
+	}
+	if got != want {
+		t.Error("interrupt+resume stdout differs from an uninterrupted run")
+	}
+}
+
+func TestResumeRequiresState(t *testing.T) {
+	cmd := exec.Command(binary(t), "-resume")
+	if err := cmd.Run(); err == nil {
+		t.Fatal("-resume without -state must fail")
+	}
+}

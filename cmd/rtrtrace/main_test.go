@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+func binary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "rtrtrace-test-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "rtrtrace")
+		if out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return binPath
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (rerun with -update): %v", path, err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (rerun with -update if intended)\ngot:\n%s", path, got)
+	}
+}
+
+// TestGoldenPaperTableI pins the default run: the worked example of
+// the paper's Fig. 6, whose phase-1 rows are exactly Table I.
+func TestGoldenPaperTableI(t *testing.T) {
+	cmd := exec.Command(binary(t))
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			t.Fatalf("exit %d\nstderr:\n%s", ee.ExitCode(), stderr.String())
+		}
+		t.Fatal(err)
+	}
+	checkGolden(t, "table1.golden", stdout.String())
+}
+
+// TestGoldenSynthesizedTrace pins a trace on a synthesized Table II
+// topology with an explicit failure disk.
+func TestGoldenSynthesizedTrace(t *testing.T) {
+	cmd := exec.Command(binary(t), "-as", "AS1239", "-seed", "1",
+		"-cx", "1000", "-cy", "1000", "-r", "250", "-src", "0", "-dst", "20")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		var ee *exec.ExitError
+		if errors.As(err, &ee) {
+			t.Fatalf("exit %d\nstderr:\n%s", ee.ExitCode(), stderr.String())
+		}
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace_as1239.golden", stdout.String())
+}

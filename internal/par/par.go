@@ -6,6 +6,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -16,8 +17,19 @@ import (
 // claimed from a shared atomic counter, so uneven iteration costs
 // balance automatically. For returns when all iterations are done.
 func For(n, workers int, fn func(i int)) {
+	ForContext(context.Background(), n, workers, fn)
+}
+
+// ForContext is For with cooperative cancellation: once ctx is done,
+// workers stop claiming new iterations, but every iteration already
+// claimed runs to completion — the graceful-drain semantics the sweep
+// engine's SIGINT handling needs (a shard is either fully executed and
+// checkpointed or not started; never half-done). Iterations are
+// claimed in ascending order. ForContext returns the number of
+// iterations that ran.
+func ForContext(ctx context.Context, n, workers int, fn func(i int)) int {
 	if n <= 0 {
-		return
+		return 0
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -27,24 +39,29 @@ func For(n, workers int, fn func(i int)) {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return i
+			}
 			fn(i)
 		}
-		return
+		return n
 	}
-	var next atomic.Int64
+	var next, ran atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
 				fn(i)
+				ran.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
+	return int(ran.Load())
 }

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -25,5 +26,74 @@ func TestForEmpty(t *testing.T) {
 	For(-3, 4, func(int) { called = true })
 	if called {
 		t.Error("fn must not be called for empty ranges")
+	}
+}
+
+func TestForContextCompletesWithoutCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 500
+		hits := make([]atomic.Int32, n)
+		ran := ForContext(context.Background(), n, workers, func(i int) { hits[i].Add(1) })
+		if ran != n {
+			t.Fatalf("workers=%d: ran = %d, want %d", workers, ran, n)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times, want 1", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestForContextCancelDrains cancels mid-run: no index may run twice,
+// claimed iterations must finish (the reported count matches the
+// number of fn completions), and the loop must stop early.
+func TestForContextCancelDrains(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		const n = 10000
+		ctx, cancel := context.WithCancel(context.Background())
+		hits := make([]atomic.Int32, n)
+		var completions atomic.Int64
+		ran := ForContext(ctx, n, workers, func(i int) {
+			hits[i].Add(1)
+			if completions.Add(1) == 50 {
+				cancel()
+			}
+		})
+		cancel()
+		if int64(ran) != completions.Load() {
+			t.Fatalf("workers=%d: reported %d ran, counted %d completions", workers, ran, completions.Load())
+		}
+		if ran >= n {
+			t.Fatalf("workers=%d: cancellation did not stop the loop (%d/%d ran)", workers, ran, n)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got > 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestForContextSerialCancelIsPrefix asserts the single-worker drain
+// property the resume smoke test relies on: with one worker the
+// completed set is exactly the prefix [0, ran).
+func TestForContextSerialCancelIsPrefix(t *testing.T) {
+	const n = 100
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen []int
+	ran := ForContext(ctx, n, 1, func(i int) {
+		seen = append(seen, i)
+		if i == 6 {
+			cancel()
+		}
+	})
+	if ran != 7 || len(seen) != 7 {
+		t.Fatalf("ran = %d, seen = %v, want prefix of length 7", ran, seen)
+	}
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("seen = %v, want ascending prefix", seen)
+		}
 	}
 }

@@ -1,0 +1,50 @@
+package routing
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// FuzzDecodeHeader is the native-fuzzing twin of
+// TestDecodeHeaderRandomBytes: on arbitrary bytes the wire decoder
+// must never panic, and any header it accepts must re-encode to
+// exactly the bytes it consumed. Run with
+//
+//	go test -fuzz FuzzDecodeHeader ./internal/routing
+func FuzzDecodeHeader(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x01})
+	for _, h := range []Header{
+		{Mode: ModeCollect, RecInit: 9},
+		{
+			Mode:        ModeCollect,
+			RecInit:     3,
+			FailedLinks: []graph.LinkID{1, 5, 9},
+			CrossLinks:  []graph.LinkID{2},
+		},
+	} {
+		enc, err := h.AppendBinary(nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(enc)
+	}
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		h, used, err := DecodeHeader(buf)
+		if err != nil {
+			return
+		}
+		if used > len(buf) {
+			t.Fatalf("decoder claims %d bytes of a %d-byte buffer", used, len(buf))
+		}
+		re, err := h.AppendBinary(nil)
+		if err != nil {
+			t.Fatalf("decoded header failed to re-encode: %+v: %v", h, err)
+		}
+		if !bytes.Equal(re, buf[:used]) {
+			t.Fatalf("round trip differs: decoded %x, re-encoded %x", buf[:used], re)
+		}
+	})
+}

@@ -1,0 +1,33 @@
+// Package seed derives independent, reproducible RNG seeds from a
+// single base seed and a path of string labels. It replaces the
+// fragile seed+1/seed+2 offset convention: offsets collide as soon as
+// two call sites pick the same increment, and they silently correlate
+// streams when a caller passes bases one apart. Hashing the labels in
+// gives every (experiment, topology, shard) its own stream no matter
+// what base the user chose, and the derivation is stable across runs,
+// platforms, and process boundaries — the property the sweep engine's
+// checkpoint/resume protocol depends on.
+package seed
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// Derive returns a deterministic seed for the RNG stream identified by
+// the base seed plus the label path. The same (base, parts) always
+// yields the same seed; any change to the base, a label, label order,
+// or label count yields an unrelated one. Labels are length-prefixed
+// before hashing, so ("ab", "c") and ("a", "bc") differ.
+func Derive(base int64, parts ...string) int64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], uint64(base))
+	h.Write(buf[:])
+	for _, p := range parts {
+		binary.BigEndian.PutUint32(buf[:4], uint32(len(p)))
+		h.Write(buf[:4])
+		h.Write([]byte(p))
+	}
+	return int64(h.Sum64())
+}

@@ -9,9 +9,19 @@ import (
 	"repro/internal/geom"
 	"repro/internal/graph"
 	"repro/internal/mrc"
+	seedpkg "repro/internal/seed"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
+
+// ablationCaseRNG derives the workload RNG of an ablation run from its
+// base seed. The derivation keeps the workload stream independent of
+// the topology-synthesis stream (which consumes the base seed
+// directly) without the old seed+1 offset, which collided with any
+// caller that happened to pass adjacent base seeds.
+func ablationCaseRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seedpkg.Derive(seed, "ablation-cases")))
+}
 
 // The ablation experiments quantify the design choices DESIGN.md calls
 // out: the enclosure-verified termination versus the paper's literal
@@ -47,7 +57,7 @@ func AblateTermination(asName string, seed int64, cases int) (TerminationAblatio
 		if err != nil {
 			return nil, nil, err
 		}
-		return w, CollectCases(w, rand.New(rand.NewSource(seed+1)), cases, true), nil
+		return w, CollectCases(w, ablationCaseRNG(seed), cases, true), nil
 	}
 	measure := func(w *World, cs []*Case) (optPct, p90 float64) {
 		outs := RunAll(w, cs)
@@ -124,7 +134,7 @@ func AblateConstraints(asName string, seed int64, cases int) (ConstraintAblation
 		if err != nil {
 			return con, unc, err
 		}
-		cs := CollectCases(w, rand.New(rand.NewSource(seed+1)), cases, true)
+		cs := CollectCases(w, ablationCaseRNG(seed), cases, true)
 
 		coverage := func(c *Case, collected []graph.LinkID) (have, want int) {
 			known := make(map[graph.LinkID]bool, len(collected))
@@ -210,7 +220,7 @@ func AblateMRCConfigs(asName string, seed int64, cases int, ks []int) ([]MRCConf
 	if err != nil {
 		return nil, err
 	}
-	cs := CollectCases(w, rand.New(rand.NewSource(seed+1)), cases, true)
+	cs := CollectCases(w, ablationCaseRNG(seed), cases, true)
 
 	out := make([]MRCConfigPoint, 0, len(ks))
 	for _, k := range ks {
@@ -269,7 +279,7 @@ func AblateWeightedCosts(asName string, seed int64, cases int) (WeightedCostAbla
 	if err != nil {
 		return res, err
 	}
-	cs := CollectCases(w, rand.New(rand.NewSource(seed+1)), cases, true)
+	cs := CollectCases(w, ablationCaseRNG(seed), cases, true)
 	outs := RunAll(w, cs)
 	var rec, opt, fcpRec, n int
 	for _, o := range outs {

@@ -85,12 +85,22 @@ func CasesFromScenario(w *World, sc *failure.Scenario) (recoverable, irrecoverab
 	return recoverable, irrecoverable
 }
 
+// MaxCollectDraws bounds how many random failure areas one collection
+// call may draw. On every Table II topology a single scenario yields
+// many cases, so legitimate workloads stay orders of magnitude below
+// the cap; it exists so a workload that cannot be satisfied (e.g. a
+// topology where no area ever produces an irrecoverable case) exhausts
+// deterministically instead of spinning forever. An exhausted call
+// returns the cases found so far, short of the target.
+const MaxCollectDraws = 100000
+
 // CollectCases draws random failure areas (radius uniform in the
 // paper's [100, 300]) until `want` cases of the requested kind have
-// accumulated, and returns exactly that many.
+// accumulated, and returns exactly that many — or fewer, if
+// MaxCollectDraws scenarios could not produce enough.
 func CollectCases(w *World, rng *rand.Rand, want int, recoverable bool) []*Case {
 	var out []*Case
-	for len(out) < want {
+	for draws := 0; len(out) < want && draws < MaxCollectDraws; draws++ {
 		sc := failure.RandomScenario(w.Topo, rng)
 		rec, irr := CasesFromScenario(w, sc)
 		if recoverable {
@@ -99,13 +109,18 @@ func CollectCases(w *World, rng *rand.Rand, want int, recoverable bool) []*Case 
 			out = append(out, irr...)
 		}
 	}
-	return out[:want]
+	if len(out) > want {
+		out = out[:want]
+	}
+	return out
 }
 
 // CollectBoth draws random failure areas until both kinds have reached
-// their targets; cases beyond a kind's target are discarded.
+// their targets; cases beyond a kind's target are discarded. Like
+// CollectCases it gives up after MaxCollectDraws scenarios and returns
+// whatever accumulated.
 func CollectBoth(w *World, rng *rand.Rand, wantRec, wantIrr int) (rec, irr []*Case) {
-	for len(rec) < wantRec || len(irr) < wantIrr {
+	for draws := 0; (len(rec) < wantRec || len(irr) < wantIrr) && draws < MaxCollectDraws; draws++ {
 		sc := failure.RandomScenario(w.Topo, rng)
 		r, i := CasesFromScenario(w, sc)
 		if len(rec) < wantRec {

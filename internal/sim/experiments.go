@@ -23,19 +23,24 @@ func DefaultConfig() Config {
 }
 
 // Dataset is the shared raw material of Tables III/IV and Figs. 7-10,
-// 12-13 for one topology: outcomes on recoverable and irrecoverable
-// cases.
+// 12-13 for one topology: case records on recoverable and
+// irrecoverable cases. Records — not live Outcomes — are the canonical
+// representation, so a Dataset assembled from a sweep checkpoint
+// aggregates identically to one built in memory.
 type Dataset struct {
 	World *World
-	Rec   []Outcome
-	Irr   []Outcome
+	Rec   []CaseRecord
+	Irr   []CaseRecord
 }
 
-// BuildDataset collects cases and runs all protocols.
+// BuildDataset collects cases and runs all protocols in one
+// monolithic pass. The sweep engine (internal/sweep) builds the same
+// dataset from deterministic shards; this path remains for tests,
+// benchmarks, and library callers that want a one-shot build.
 func BuildDataset(w *World, cfg Config) *Dataset {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rec, irr := CollectBoth(w, rng, cfg.Recoverable, cfg.Irrecoverable)
-	return &Dataset{World: w, Rec: RunAll(w, rec), Irr: RunAll(w, irr)}
+	return &Dataset{World: w, Rec: Records(RunAll(w, rec)), Irr: Records(RunAll(w, irr))}
 }
 
 // Fig7 returns the CDF of first-phase durations in milliseconds over
@@ -43,12 +48,13 @@ func BuildDataset(w *World, cfg Config) *Dataset {
 // "RTR has the same first phase in both").
 func (d *Dataset) Fig7() *stats.CDF {
 	var c stats.CDF
-	for _, set := range [][]Outcome{d.Rec, d.Irr} {
-		for _, o := range set {
-			if o.Err != nil || o.RTR.NoLiveNeighbor {
+	for _, set := range [][]CaseRecord{d.Rec, d.Irr} {
+		for i := range set {
+			r := &set[i]
+			if r.Err != "" || r.RTR.NoLiveNeighbor {
 				continue
 			}
-			c.Add(float64(o.RTR.Phase1.Duration()) / float64(time.Millisecond))
+			c.Add(float64(r.RTR.Phase1Duration()) / float64(time.Millisecond))
 		}
 	}
 	return &c
@@ -67,35 +73,36 @@ type Table3Row struct {
 	RTRMaxCalcs, FCPMaxCalcs int
 }
 
-// Table3 aggregates the recoverable outcomes into the paper's
+// Table3 aggregates the recoverable records into the paper's
 // Table III row for this topology.
 func (d *Dataset) Table3() Table3Row {
 	row := Table3Row{AS: d.World.Topo.Name}
 	var rtrRec, rtrOpt, fcpRec, fcpOpt, mrcRec, mrcOpt stats.Rate
-	for _, o := range d.Rec {
-		if o.Err != nil {
+	for i := range d.Rec {
+		r := &d.Rec[i]
+		if r.Err != "" {
 			continue
 		}
-		rtrRec.Observe(o.RTR.Recovered)
-		rtrOpt.Observe(o.RTR.Optimal)
-		fcpRec.Observe(o.FCP.Delivered)
-		fcpOpt.Observe(o.FCP.Optimal)
-		mrcRec.Observe(o.MRC.Delivered)
-		mrcOpt.Observe(o.MRC.Optimal)
-		if o.RTR.Recovered && o.RTR.Stretch > row.RTRMaxStretch {
-			row.RTRMaxStretch = o.RTR.Stretch
+		rtrRec.Observe(r.RTR.Recovered)
+		rtrOpt.Observe(r.RTR.Optimal)
+		fcpRec.Observe(r.FCP.Delivered)
+		fcpOpt.Observe(r.FCP.Optimal)
+		mrcRec.Observe(r.MRC.Delivered)
+		mrcOpt.Observe(r.MRC.Optimal)
+		if r.RTR.Recovered && r.RTR.Stretch > row.RTRMaxStretch {
+			row.RTRMaxStretch = r.RTR.Stretch
 		}
-		if o.FCP.Delivered && o.FCP.Stretch > row.FCPMaxStretch {
-			row.FCPMaxStretch = o.FCP.Stretch
+		if r.FCP.Delivered && r.FCP.Stretch > row.FCPMaxStretch {
+			row.FCPMaxStretch = r.FCP.Stretch
 		}
-		if o.MRC.Delivered && o.MRC.Stretch > row.MRCMaxStretch {
-			row.MRCMaxStretch = o.MRC.Stretch
+		if r.MRC.Delivered && r.MRC.Stretch > row.MRCMaxStretch {
+			row.MRCMaxStretch = r.MRC.Stretch
 		}
-		if o.RTR.SPCalcs > row.RTRMaxCalcs {
-			row.RTRMaxCalcs = o.RTR.SPCalcs
+		if r.RTR.SPCalcs > row.RTRMaxCalcs {
+			row.RTRMaxCalcs = r.RTR.SPCalcs
 		}
-		if o.FCP.SPCalcs > row.FCPMaxCalcs {
-			row.FCPMaxCalcs = o.FCP.SPCalcs
+		if r.FCP.SPCalcs > row.FCPMaxCalcs {
+			row.FCPMaxCalcs = r.FCP.SPCalcs
 		}
 	}
 	row.RTRRecovery = rtrRec.Percent()
@@ -110,15 +117,16 @@ func (d *Dataset) Table3() Table3Row {
 // Fig8 returns the stretch CDFs of recovered cases for RTR and FCP.
 func (d *Dataset) Fig8() (rtr, fcp *stats.CDF) {
 	rtr, fcp = &stats.CDF{}, &stats.CDF{}
-	for _, o := range d.Rec {
-		if o.Err != nil {
+	for i := range d.Rec {
+		r := &d.Rec[i]
+		if r.Err != "" {
 			continue
 		}
-		if o.RTR.Recovered {
-			rtr.Add(o.RTR.Stretch)
+		if r.RTR.Recovered {
+			rtr.Add(r.RTR.Stretch)
 		}
-		if o.FCP.Delivered {
-			fcp.Add(o.FCP.Stretch)
+		if r.FCP.Delivered {
+			fcp.Add(r.FCP.Stretch)
 		}
 	}
 	return rtr, fcp
@@ -128,12 +136,13 @@ func (d *Dataset) Fig8() (rtr, fcp *stats.CDF) {
 // recoverable cases for RTR and FCP.
 func (d *Dataset) Fig9() (rtr, fcp *stats.CDF) {
 	rtr, fcp = &stats.CDF{}, &stats.CDF{}
-	for _, o := range d.Rec {
-		if o.Err != nil || o.RTR.NoLiveNeighbor {
+	for i := range d.Rec {
+		r := &d.Rec[i]
+		if r.Err != "" || r.RTR.NoLiveNeighbor {
 			continue
 		}
-		rtr.Add(float64(o.RTR.SPCalcs))
-		fcp.Add(float64(o.FCP.SPCalcs))
+		rtr.Add(float64(r.RTR.SPCalcs))
+		fcp.Add(float64(r.FCP.SPCalcs))
 	}
 	return rtr, fcp
 }
@@ -154,13 +163,14 @@ func (d *Dataset) Fig10(horizon, step time.Duration) []TimePoint {
 	for t := time.Duration(0); t <= horizon; t += step {
 		var rtrSum, fcpSum float64
 		n := 0
-		for _, o := range d.Rec {
-			if o.Err != nil || o.RTR.NoLiveNeighbor {
+		for i := range d.Rec {
+			r := &d.Rec[i]
+			if r.Err != "" || r.RTR.NoLiveNeighbor {
 				continue
 			}
 			n++
-			rtrSum += float64(BytesAt(o.RTR.Phase1, o.RTR.RouteBytes, t))
-			fcpSum += float64(BytesAt(o.FCP.Walk, o.FCP.FinalBytes, t))
+			rtrSum += float64(RecordBytesAt(r.RTR.Phase1Bytes, r.RTR.RouteBytes, t))
+			fcpSum += float64(RecordBytesAt(r.FCP.WalkBytes, r.FCP.FinalBytes, t))
 		}
 		if n == 0 {
 			continue
@@ -193,13 +203,19 @@ func Fig11(w *World, seed int64, radii []float64, areasPerRadius int) []Fig11Poi
 			failed += f
 			irr += ir
 		}
-		p := Fig11Point{Radius: radius, Failed: failed}
-		if failed > 0 {
-			p.Percent = 100 * float64(irr) / float64(failed)
-		}
-		out = append(out, p)
+		out = append(out, NewFig11Point(radius, failed, irr))
 	}
 	return out
+}
+
+// NewFig11Point assembles one Fig. 11 sample from raw failed-path
+// counts (the sweep engine merges per-shard counts through this).
+func NewFig11Point(radius float64, failed, irrecoverable int) Fig11Point {
+	p := Fig11Point{Radius: radius, Failed: failed}
+	if failed > 0 {
+		p.Percent = 100 * float64(irrecoverable) / float64(failed)
+	}
+	return p
 }
 
 // DefaultRadii is the paper's Fig. 11 sweep: 20 to 300 step 20.
@@ -215,12 +231,13 @@ func DefaultRadii() []float64 {
 // calculations) on irrecoverable cases.
 func (d *Dataset) Fig12() (rtr, fcp *stats.CDF) {
 	rtr, fcp = &stats.CDF{}, &stats.CDF{}
-	for _, o := range d.Irr {
-		if o.Err != nil || o.RTR.NoLiveNeighbor {
+	for i := range d.Irr {
+		r := &d.Irr[i]
+		if r.Err != "" || r.RTR.NoLiveNeighbor {
 			continue
 		}
-		rtr.Add(float64(o.RTR.SPCalcs))
-		fcp.Add(float64(o.FCP.SPCalcs))
+		rtr.Add(float64(r.RTR.SPCalcs))
+		fcp.Add(float64(r.FCP.SPCalcs))
 	}
 	return rtr, fcp
 }
@@ -230,12 +247,13 @@ func (d *Dataset) Fig12() (rtr, fcp *stats.CDF) {
 // cases.
 func (d *Dataset) Fig13() (rtr, fcp *stats.CDF) {
 	rtr, fcp = &stats.CDF{}, &stats.CDF{}
-	for _, o := range d.Irr {
-		if o.Err != nil || o.RTR.NoLiveNeighbor {
+	for i := range d.Irr {
+		r := &d.Irr[i]
+		if r.Err != "" || r.RTR.NoLiveNeighbor {
 			continue
 		}
-		rtr.Add(wastedTransmission(o.RTR.RouteBytes, o.RTR.WastedHops))
-		fcp.Add(wastedTransmission(o.FCP.FinalBytes, o.FCP.WastedHops))
+		rtr.Add(wastedTransmission(r.RTR.RouteBytes, r.RTR.WastedHops))
+		fcp.Add(wastedTransmission(r.FCP.FinalBytes, r.FCP.WastedHops))
 	}
 	return rtr, fcp
 }
@@ -249,7 +267,7 @@ type Table4Row struct {
 	RTRMaxTrans, FCPMaxTrans float64
 }
 
-// Table4 aggregates the irrecoverable outcomes into the paper's
+// Table4 aggregates the irrecoverable records into the paper's
 // Table IV row.
 func (d *Dataset) Table4() Table4Row {
 	rtrC, fcpC := d.Fig12()

@@ -283,24 +283,47 @@ func TestCountFailedPathsConsistency(t *testing.T) {
 
 func TestBytesAt(t *testing.T) {
 	d := smallDataset(t, "AS1239")
-	for _, o := range d.Rec[:10] {
-		if o.RTR.NoLiveNeighbor {
+	for _, r := range d.Rec[:10] {
+		if r.RTR.NoLiveNeighbor {
 			continue
 		}
 		// At t=0 the packet is on its first phase-1 hop.
-		if len(o.RTR.Phase1.Records) > 0 {
-			want := o.RTR.Phase1.Records[0].HeaderBytes
-			if got := BytesAt(o.RTR.Phase1, o.RTR.RouteBytes, 0); got != want {
-				t.Errorf("BytesAt(0) = %d, want %d", got, want)
+		if len(r.RTR.Phase1Bytes) > 0 {
+			want := r.RTR.Phase1Bytes[0]
+			if got := RecordBytesAt(r.RTR.Phase1Bytes, r.RTR.RouteBytes, 0); got != want {
+				t.Errorf("RecordBytesAt(0) = %d, want %d", got, want)
 			}
 		}
 		// Far beyond the walk: steady state.
-		if got := BytesAt(o.RTR.Phase1, o.RTR.RouteBytes, time.Hour); got != o.RTR.RouteBytes {
-			t.Errorf("steady BytesAt = %d, want %d", got, o.RTR.RouteBytes)
+		if got := RecordBytesAt(r.RTR.Phase1Bytes, r.RTR.RouteBytes, time.Hour); got != r.RTR.RouteBytes {
+			t.Errorf("steady RecordBytesAt = %d, want %d", got, r.RTR.RouteBytes)
 		}
 	}
-	if BytesAt(d.Rec[0].RTR.Phase1, 5, -time.Second) != 0 {
+	if RecordBytesAt(d.Rec[0].RTR.Phase1Bytes, 5, -time.Second) != 0 {
 		t.Error("negative time must be 0 bytes")
+	}
+}
+
+// TestBytesAtAgreesWithRecordBytesAt pins the walk-based and
+// record-based overhead samplers to each other on live outcomes.
+func TestBytesAtAgreesWithRecordBytesAt(t *testing.T) {
+	w, err := NewWorld("AS1239", 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	cases := CollectCases(w, rng, 40, true)
+	outs := RunAll(w, cases)
+	for i := range outs {
+		o := &outs[i]
+		rec := o.Record()
+		for _, at := range []time.Duration{0, 10 * time.Millisecond, 100 * time.Millisecond, time.Hour} {
+			walkGot := BytesAt(o.RTR.Phase1, o.RTR.RouteBytes, at)
+			recGot := RecordBytesAt(rec.RTR.Phase1Bytes, rec.RTR.RouteBytes, at)
+			if walkGot != recGot {
+				t.Fatalf("case %d at %v: BytesAt = %d, RecordBytesAt = %d", i, at, walkGot, recGot)
+			}
+		}
 	}
 }
 
@@ -320,10 +343,10 @@ func TestDefaultConfig(t *testing.T) {
 
 func TestOutcomesHaveNoErrors(t *testing.T) {
 	d := smallDataset(t, "AS1239")
-	for _, set := range [][]Outcome{d.Rec, d.Irr} {
-		for _, o := range set {
-			if o.Err != nil {
-				t.Fatalf("outcome error: %v", o.Err)
+	for _, set := range [][]CaseRecord{d.Rec, d.Irr} {
+		for _, r := range set {
+			if r.Err != "" {
+				t.Fatalf("outcome error: %v", r.Err)
 			}
 		}
 	}

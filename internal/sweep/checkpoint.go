@@ -1,0 +1,216 @@
+package sweep
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// CheckpointVersion guards the on-disk layout. Bump it whenever the
+// shard seed derivation (internal/seed), the shard keying, or the
+// ShardResult encoding changes incompatibly: a version mismatch must
+// refuse to resume rather than silently merge foreign results.
+const CheckpointVersion = 1
+
+const (
+	manifestName = "manifest.json"
+	resultsName  = "results.jsonl"
+)
+
+// ShardResult is the recorded output of one shard — exactly one JSONL
+// line in the checkpoint. Case shards carry the per-case records;
+// Fig. 11 shards carry failed-path counts. Results loaded from a
+// checkpoint and results computed fresh are represented identically,
+// which is what makes resumed aggregates bit-identical.
+type ShardResult struct {
+	Key      string  `json:"key"`
+	Kind     Kind    `json:"kind"`
+	Topology string  `json:"topology"`
+	Block    int     `json:"block"`
+	Radius   float64 `json:"radius,omitempty"`
+
+	Rec []sim.CaseRecord `json:"rec,omitempty"`
+	Irr []sim.CaseRecord `json:"irr,omitempty"`
+
+	Failed        int `json:"failed,omitempty"`
+	Irrecoverable int `json:"irrecoverable,omitempty"`
+
+	ElapsedNs int64 `json:"elapsed_ns"`
+}
+
+// Manifest describes a checkpoint directory. It is rewritten
+// atomically after every shard so an interrupted run leaves an
+// accurate completion count behind.
+type Manifest struct {
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+	TotalShards int    `json:"total_shards"`
+	Completed   int    `json:"completed"`
+	Spec        Spec   `json:"spec"`
+}
+
+// Fingerprint hashes the spec's canonical JSON; two sweeps merge only
+// if they would produce the same shards with the same seeds.
+func Fingerprint(s Spec) string {
+	data, err := json.Marshal(s)
+	if err != nil {
+		panic("sweep: spec not serializable: " + err.Error())
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// checkpointWriter appends shard results to results.jsonl and keeps
+// manifest.json current. Safe for concurrent use.
+type checkpointWriter struct {
+	mu       sync.Mutex
+	dir      string
+	f        *os.File
+	manifest Manifest
+}
+
+// openCheckpoint prepares dir for a run. With resume set it validates
+// the existing manifest against the spec and loads every cleanly
+// recorded shard result (a torn tail line from a kill is skipped, so
+// that shard simply reruns); otherwise it truncates any previous
+// state. It returns the writer and the loaded results by shard key.
+func openCheckpoint(dir string, spec Spec, total int, resume bool) (*checkpointWriter, map[string]*ShardResult, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	fp := Fingerprint(spec)
+	loaded := map[string]*ShardResult{}
+	if resume {
+		m, err := readManifest(dir)
+		switch {
+		case os.IsNotExist(err):
+			// Nothing to resume; fall through to a fresh run.
+		case err != nil:
+			return nil, nil, fmt.Errorf("sweep: reading %s: %w", manifestName, err)
+		case m.Version != CheckpointVersion:
+			return nil, nil, fmt.Errorf("sweep: checkpoint version %d in %s, this binary writes %d",
+				m.Version, dir, CheckpointVersion)
+		case m.Fingerprint != fp:
+			return nil, nil, fmt.Errorf("sweep: checkpoint in %s was written for a different workload (fingerprint %.12s, want %.12s); rerun without -resume or point -state elsewhere",
+				dir, m.Fingerprint, fp)
+		default:
+			if loaded, err = loadResults(filepath.Join(dir, resultsName)); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(filepath.Join(dir, resultsName), flags, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := &checkpointWriter{
+		dir: dir,
+		f:   f,
+		manifest: Manifest{
+			Version:     CheckpointVersion,
+			Fingerprint: fp,
+			TotalShards: total,
+			Completed:   len(loaded),
+			Spec:        spec,
+		},
+	}
+	if err := c.writeManifest(); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return c, loaded, nil
+}
+
+// append records one completed shard: the JSONL line is written and
+// synced before the manifest's completion count advances, so a crash
+// between the two at worst undercounts (and the line itself, if torn,
+// is skipped on load).
+func (c *checkpointWriter) append(r *ShardResult) error {
+	line, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.f.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if err := c.f.Sync(); err != nil {
+		return err
+	}
+	c.manifest.Completed++
+	return c.writeManifest()
+}
+
+// writeManifest replaces manifest.json atomically (temp file +
+// rename); callers hold c.mu or have exclusive access.
+func (c *checkpointWriter) writeManifest() error {
+	data, err := json.MarshalIndent(c.manifest, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(c.dir, manifestName+".tmp")
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(c.dir, manifestName))
+}
+
+func (c *checkpointWriter) close() error {
+	return c.f.Close()
+}
+
+func readManifest(dir string) (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("sweep: corrupt %s: %w", manifestName, err)
+	}
+	return &m, nil
+}
+
+// loadResults parses a results file, keeping the last cleanly encoded
+// record per shard key. Unparseable lines — typically one torn tail
+// from an interrupted write — are skipped, not fatal.
+func loadResults(path string) (map[string]*ShardResult, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return map[string]*ShardResult{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]*ShardResult{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<28)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var r ShardResult
+		if err := json.Unmarshal(line, &r); err != nil || r.Key == "" {
+			continue
+		}
+		out[r.Key] = &r
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,200 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/par"
+	"repro/internal/perf"
+	"repro/internal/sim"
+)
+
+// Engine executes a sweep Spec over a worker pool, checkpointing as it
+// goes. The zero Dir disables checkpointing (everything stays in
+// memory); Resume and interruption tolerance need a Dir.
+type Engine struct {
+	Spec Spec
+	// Worlds maps every topology named in the spec to its built world.
+	// Worlds must be constructed from the spec's BaseSeed by the
+	// caller; the engine only derives per-shard RNGs.
+	Worlds map[string]*sim.World
+	// Workers is the shard-level parallelism (1 when <= 0). Shards run
+	// their cases serially inside, so total parallelism == Workers.
+	Workers int
+	// Dir is the checkpoint directory (results.jsonl + manifest.json).
+	Dir string
+	// Resume loads previously recorded shards from Dir and skips them.
+	Resume bool
+	// MaxShards, when > 0, stops the run after that many shards have
+	// been executed in this process (loaded shards don't count). It
+	// exists to exercise the interrupt path deterministically in tests
+	// and smoke targets; a SIGINT-cancelled context behaves the same
+	// way at an arbitrary point.
+	MaxShards int
+	// Progress, when set with ProgressEvery > 0, receives a one-line
+	// status every ProgressEvery.
+	Progress      io.Writer
+	ProgressEvery time.Duration
+	// Recorder, when set, receives per-shard timings.
+	Recorder *perf.Recorder
+}
+
+// RunResult is the outcome of Engine.Run: every known shard result
+// (loaded + executed) keyed for merging, plus interruption state.
+type RunResult struct {
+	Spec Spec
+	// Plan is the full shard plan; merges follow its order.
+	Plan    []Shard
+	Results map[string]*ShardResult
+	// Loaded counts shards recovered from the checkpoint; Executed
+	// counts shards computed by this run.
+	Loaded   int
+	Executed int
+	// Interrupted reports that the run stopped (context cancellation
+	// or MaxShards) before completing the plan.
+	Interrupted bool
+}
+
+// Complete reports whether every planned shard has a result.
+func (r *RunResult) Complete() bool { return len(r.Results) == len(r.Plan) }
+
+// Run executes all shards not already checkpointed. Cancelling ctx
+// stops the engine from starting new shards; in-flight shards finish
+// and are checkpointed, so every shard is either fully recorded or
+// untouched — the invariant resume depends on.
+func (e *Engine) Run(ctx context.Context) (*RunResult, error) {
+	plan := e.Spec.Shards()
+	for _, sh := range plan {
+		if e.Worlds[sh.Topology] == nil {
+			return nil, fmt.Errorf("sweep: no world for topology %q", sh.Topology)
+		}
+	}
+	res := &RunResult{
+		Spec:    e.Spec,
+		Plan:    plan,
+		Results: make(map[string]*ShardResult, len(plan)),
+	}
+
+	var ckpt *checkpointWriter
+	if e.Dir != "" {
+		var loaded map[string]*ShardResult
+		var err error
+		ckpt, loaded, err = openCheckpoint(e.Dir, e.Spec, len(plan), e.Resume)
+		if err != nil {
+			return nil, err
+		}
+		defer ckpt.close()
+		for k, v := range loaded {
+			res.Results[k] = v
+		}
+		res.Loaded = len(loaded)
+	}
+
+	var pending []Shard
+	for _, sh := range plan {
+		if _, ok := res.Results[sh.Key]; !ok {
+			pending = append(pending, sh)
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := e.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+
+	var executed atomic.Int64
+	if e.Progress != nil && e.ProgressEvery > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(e.ProgressEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					fmt.Fprintf(e.Progress, "sweep: %d/%d shards done (%d resumed)\n",
+						res.Loaded+int(executed.Load()), len(plan), res.Loaded)
+				}
+			}
+		}()
+	}
+
+	var mu sync.Mutex
+	var firstErr error
+	par.ForContext(runCtx, len(pending), workers, func(i int) {
+		sh := pending[i]
+		start := time.Now()
+		sr := e.runShard(sh)
+		elapsed := time.Since(start)
+		sr.ElapsedNs = elapsed.Nanoseconds()
+		if e.Recorder != nil {
+			e.Recorder.Observe("sweep-shard-"+string(sh.Kind), sh.Topology, elapsed, len(sr.Rec)+len(sr.Irr))
+		}
+		if ckpt != nil {
+			if err := ckpt.append(sr); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				cancel()
+				return
+			}
+		}
+		mu.Lock()
+		res.Results[sh.Key] = sr
+		mu.Unlock()
+		if n := executed.Add(1); e.MaxShards > 0 && int(n) >= e.MaxShards {
+			cancel()
+		}
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	res.Executed = int(executed.Load())
+	res.Interrupted = res.Executed < len(pending)
+	return res, nil
+}
+
+// runShard computes one shard from scratch. All randomness comes from
+// the shard's derived seed, so the result is a pure function of
+// (spec, shard identity) — independent of workers, order, process.
+func (e *Engine) runShard(sh Shard) *ShardResult {
+	w := e.Worlds[sh.Topology]
+	rng := rand.New(rand.NewSource(sh.Seed(e.Spec.BaseSeed)))
+	sr := &ShardResult{
+		Key:      sh.Key,
+		Kind:     sh.Kind,
+		Topology: sh.Topology,
+		Block:    sh.Block,
+		Radius:   sh.Radius,
+	}
+	switch sh.Kind {
+	case KindFig11:
+		for i := 0; i < sh.Areas; i++ {
+			area := failure.RandomArea(rng, sh.Radius, sh.Radius)
+			sc := failure.NewScenario(w.Topo, area)
+			f, ir := sim.CountFailedPaths(w, sc)
+			sr.Failed += f
+			sr.Irrecoverable += ir
+		}
+	default:
+		rec, irr := sim.CollectBoth(w, rng, sh.Rec, sh.Irr)
+		// Cases run serially inside a shard: the engine owns the
+		// parallelism, and the per-case order defines the record order.
+		sr.Rec = sim.Records(sim.RunAllN(w, rec, 1))
+		sr.Irr = sim.Records(sim.RunAllN(w, irr, 1))
+	}
+	return sr
+}

@@ -1,0 +1,82 @@
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Datasets assembles the per-topology datasets from a completed run
+// by concatenating case-shard records in plan order. Because every
+// shard's records are a pure function of its identity, the merged
+// dataset is identical however the shards were scheduled — and
+// identical whether a shard's records were computed in this process
+// or loaded from a checkpoint.
+func (r *RunResult) Datasets(worlds map[string]*sim.World) (map[string]*sim.Dataset, error) {
+	out := map[string]*sim.Dataset{}
+	for _, sh := range r.Plan {
+		if sh.Kind != KindCases {
+			continue
+		}
+		sr, ok := r.Results[sh.Key]
+		if !ok {
+			return nil, fmt.Errorf("sweep: incomplete run: shard %s has no result", sh.Key)
+		}
+		d := out[sh.Topology]
+		if d == nil {
+			w := worlds[sh.Topology]
+			if w == nil {
+				return nil, fmt.Errorf("sweep: no world for topology %q", sh.Topology)
+			}
+			d = &sim.Dataset{World: w}
+			out[sh.Topology] = d
+		}
+		d.Rec = append(d.Rec, sr.Rec...)
+		d.Irr = append(d.Irr, sr.Irr...)
+	}
+	return out, nil
+}
+
+// Fig11 assembles the per-topology Fig. 11 curves by summing each
+// (topology, radius) pair's failed-path counts across its shards in
+// plan order, then deriving the irrecoverable percentage once per
+// radius — so the curve is exact regardless of how areas were split
+// into blocks.
+func (r *RunResult) Fig11() (map[string][]sim.Fig11Point, error) {
+	type counts struct{ failed, irr int }
+	acc := map[string]map[float64]*counts{}
+	for _, sh := range r.Plan {
+		if sh.Kind != KindFig11 {
+			continue
+		}
+		sr, ok := r.Results[sh.Key]
+		if !ok {
+			return nil, fmt.Errorf("sweep: incomplete run: shard %s has no result", sh.Key)
+		}
+		byRadius := acc[sh.Topology]
+		if byRadius == nil {
+			byRadius = map[float64]*counts{}
+			acc[sh.Topology] = byRadius
+		}
+		c := byRadius[sh.Radius]
+		if c == nil {
+			c = &counts{}
+			byRadius[sh.Radius] = c
+		}
+		c.failed += sr.Failed
+		c.irr += sr.Irrecoverable
+	}
+	out := map[string][]sim.Fig11Point{}
+	for as, byRadius := range acc {
+		points := make([]sim.Fig11Point, 0, len(r.Spec.Fig11Radii))
+		for _, radius := range r.Spec.Fig11Radii {
+			c := byRadius[radius]
+			if c == nil {
+				continue
+			}
+			points = append(points, sim.NewFig11Point(radius, c.failed, c.irr))
+		}
+		out[as] = points
+	}
+	return out, nil
+}

@@ -1,0 +1,43 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead is the native-fuzzing twin of TestReadRandomText: the
+// topology parser must never panic on arbitrary text, and any
+// topology it accepts must validate and survive a Write/Read round
+// trip. Run with
+//
+//	go test -fuzz FuzzRead ./internal/topology
+func FuzzRead(f *testing.F) {
+	f.Add("")
+	f.Add("topology t0\nnode 0 1 2\n")
+	f.Add("link 0 1\n")
+	var paper strings.Builder
+	if err := Write(&paper, PaperExample()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(paper.String())
+	f.Fuzz(func(t *testing.T, input string) {
+		topo, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("accepted topology fails validation: %v\ninput:\n%s", err, input)
+		}
+		var out strings.Builder
+		if err := Write(&out, topo); err != nil {
+			t.Fatalf("accepted topology fails to serialize: %v", err)
+		}
+		back, err := Read(strings.NewReader(out.String()))
+		if err != nil {
+			t.Fatalf("round trip of accepted topology fails: %v\n%s", err, out.String())
+		}
+		if back.G.NumNodes() != topo.G.NumNodes() || back.G.NumLinks() != topo.G.NumLinks() {
+			t.Fatal("round trip changed the graph")
+		}
+	})
+}
