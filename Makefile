@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench sweep-smoke fuzz-smoke clean
+.PHONY: check vet build test race bench-smoke bench bench-diff sweep-smoke fuzz-smoke clean
 
 ## check: the full pre-merge gate — vet, build, race-enabled tests, a
 ## one-iteration pass over every benchmark so bench code can't rot, and
@@ -30,6 +30,16 @@ bench-smoke:
 bench:
 	$(GO) test -run xxx -bench . -benchtime 50x -benchmem .
 
+## bench-diff: regenerate a fresh performance record (world builds plus
+## the cold-vs-incremental convergence benches; no dataset sweep) and
+## print per-entry deltas against the latest checked-in BENCH_*.json.
+## Informational only — the target never fails on regressions.
+bench-diff:
+	rm -rf .bench-diff && mkdir -p .bench-diff
+	$(GO) run ./cmd/rtrsim -exp table2 -bench-json .bench-diff/new.json > /dev/null
+	-$(GO) run ./cmd/benchdiff .bench-diff/new.json
+	rm -rf .bench-diff
+
 ## sweep-smoke: end-to-end determinism of the sharded sweep. One
 ## uninterrupted run, then the same workload interrupted after two
 ## shards (-max-shards exits 2, hence the leading -) and resumed from
@@ -53,4 +63,4 @@ fuzz-smoke:
 
 clean:
 	rm -f repro.test
-	rm -rf .sweep-smoke
+	rm -rf .sweep-smoke .bench-diff

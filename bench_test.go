@@ -18,6 +18,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/graph"
 	"repro/internal/igp"
+	"repro/internal/mrc"
 	"repro/internal/netsim"
 	"repro/internal/routing"
 	"repro/internal/sim"
@@ -412,6 +413,63 @@ func BenchmarkIncrementalRecompute(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		spt.Recompute(topo.G, base, graph.Nothing, extra)
 	}
+}
+
+// BenchmarkPostFailureTables measures the per-scenario converged-table
+// build — cold (one reverse Dijkstra per destination) versus
+// incremental (delete-only recompute seeded from the pre-failure
+// tables) — on the largest Table II topology by nodes (AS7018) and the
+// densest one (AS3549). netsim, the loss experiment, and the Fig. 11
+// truth trees all pay this cost once per failure scenario, and the two
+// variants produce bit-identical tables.
+func BenchmarkPostFailureTables(b *testing.B) {
+	for _, as := range []string{"AS7018", "AS3549"} {
+		topo := topology.GenerateAS(as, 1)
+		pre := routing.ComputeTables(topo)
+		rng := rand.New(rand.NewSource(7))
+		var scs []*failure.Scenario
+		for len(scs) < 16 {
+			if sc := failure.RandomScenario(topo, rng); sc.HasFailures() {
+				scs = append(scs, sc)
+			}
+		}
+		b.Run(as+"/cold", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				routing.ComputeTablesUnder(topo, scs[i%len(scs)])
+			}
+		})
+		b.Run(as+"/incremental", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				routing.RecomputeTablesUnder(topo, pre, scs[i%len(scs)])
+			}
+		})
+	}
+}
+
+// BenchmarkMRCBuildTrees measures MRC's k*n configuration tree matrix
+// — the precomputation cost Enhanced-MRC identifies as MRC's scaling
+// burden — cold versus warm-started from the clean routing tables.
+func BenchmarkMRCBuildTrees(b *testing.B) {
+	topo := topology.GenerateAS("AS7018", 1)
+	tables := routing.ComputeTables(topo)
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mrc.New(topo, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mrc.NewWarm(topo, 0, tables); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkCrossIndexBuild measures the per-topology cross-link

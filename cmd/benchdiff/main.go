@@ -1,0 +1,126 @@
+// Command benchdiff compares two BENCH_<date>.json performance
+// records (see internal/perf) and prints per-entry deltas. It is
+// informational: it always exits 0, so CI can run it on every build
+// and surface regressions in the log without failing the gate.
+//
+// Usage:
+//
+//	benchdiff new.json            # old = latest checked-in BENCH_*.json
+//	benchdiff -old a.json b.json  # explicit pair
+//
+// When -old is not given, the previous record is the
+// lexicographically last BENCH_*.json in the current directory whose
+// path differs from the new record (date-stamped names sort
+// chronologically).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/perf"
+)
+
+func main() {
+	oldPath := flag.String("old", "", "previous record (default: latest checked-in BENCH_*.json)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-old prev.json] new.json")
+		return
+	}
+	newPath := flag.Arg(0)
+	if *oldPath == "" {
+		prev, err := latestRecord(".", newPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			return
+		}
+		*oldPath = prev
+	}
+	oldRec, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return
+	}
+	newRec, err := load(newPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return
+	}
+	diff(os.Stdout, *oldPath, oldRec, newPath, newRec)
+}
+
+// latestRecord returns the lexicographically last BENCH_*.json in dir
+// that is not the new record itself.
+func latestRecord(dir, exclude string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	excl, _ := filepath.Abs(exclude)
+	var candidates []string
+	for _, m := range matches {
+		if abs, _ := filepath.Abs(m); abs == excl {
+			continue
+		}
+		candidates = append(candidates, m)
+	}
+	if len(candidates) == 0 {
+		return "", fmt.Errorf("no previous BENCH_*.json found in %s", dir)
+	}
+	sort.Strings(candidates)
+	return candidates[len(candidates)-1], nil
+}
+
+func load(path string) (*perf.Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rec perf.Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rec, nil
+}
+
+// entryKey identifies comparable entries across records.
+type entryKey struct {
+	name  string
+	topo  string
+	procs int
+}
+
+func diff(w *os.File, oldPath string, oldRec *perf.Record, newPath string, newRec *perf.Record) {
+	fmt.Fprintf(w, "benchdiff: %s (%s) -> %s (%s)\n", oldPath, oldRec.Date, newPath, newRec.Date)
+	fmt.Fprintf(w, "%-22s %-8s %5s %14s %14s %9s\n", "entry", "topology", "procs", "old ns/op", "new ns/op", "delta")
+	oldBy := map[entryKey]perf.Entry{}
+	for _, e := range oldRec.Entries {
+		oldBy[entryKey{e.Name, e.Topology, e.Procs}] = e
+	}
+	seen := map[entryKey]bool{}
+	for _, e := range newRec.Entries {
+		k := entryKey{e.Name, e.Topology, e.Procs}
+		seen[k] = true
+		o, ok := oldBy[k]
+		if !ok {
+			fmt.Fprintf(w, "%-22s %-8s %5d %14s %14d %9s\n", e.Name, e.Topology, e.Procs, "-", e.NsPerOp, "new")
+			continue
+		}
+		delta := "n/a"
+		if o.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*float64(e.NsPerOp-o.NsPerOp)/float64(o.NsPerOp))
+		}
+		fmt.Fprintf(w, "%-22s %-8s %5d %14d %14d %9s\n", e.Name, e.Topology, e.Procs, o.NsPerOp, e.NsPerOp, delta)
+	}
+	for _, e := range oldRec.Entries {
+		k := entryKey{e.Name, e.Topology, e.Procs}
+		if !seen[k] {
+			fmt.Fprintf(w, "%-22s %-8s %5d %14d %14s %9s\n", e.Name, e.Topology, e.Procs, e.NsPerOp, "-", "gone")
+		}
+	}
+}

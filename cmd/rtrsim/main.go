@@ -48,8 +48,10 @@ import (
 	"repro/internal/failure"
 	"repro/internal/graph"
 	"repro/internal/igp"
+	"repro/internal/mrc"
 	"repro/internal/netsim"
 	"repro/internal/perf"
+	"repro/internal/routing"
 	"repro/internal/report"
 	seedpkg "repro/internal/seed"
 	"repro/internal/sim"
@@ -173,6 +175,9 @@ func main() {
 		worlds = append(worlds, w)
 		worldsByName[name] = w
 	}
+	if rec != nil {
+		recordConvergenceBench(rec, worlds, *seed)
+	}
 
 	// All case datasets and the fig11 radius sweep run as one sharded,
 	// checkpointed sweep; every shard seeds its RNG from (seed, shard
@@ -283,6 +288,53 @@ func main() {
 		if err := writeCSVs(*csvDir, datasets, fig11Series, has); err != nil {
 			fmt.Fprintf(os.Stderr, "rtrsim: csv: %v\n", err)
 			os.Exit(1)
+		}
+	}
+}
+
+// recordConvergenceBench times the per-scenario converged-table builds
+// (cold ComputeTablesUnder vs incremental RecomputeTablesUnder) and the
+// MRC tree-matrix builds (cold vs warm-start) for every topology, once
+// serially and once with GOMAXPROCS=NumCPU, so BENCH_<date>.json tracks
+// both the incremental convergence layer and the par.For speedups.
+func recordConvergenceBench(rec *perf.Recorder, worlds []*sim.World, seed int64) {
+	const scenarios = 20
+	procsList := []int{1}
+	if n := runtime.NumCPU(); n > 1 {
+		procsList = append(procsList, n)
+	}
+	for _, w := range worlds {
+		name := w.Topo.Name
+		// Pre-draw the scenario batch so the cold and incremental
+		// variants time identical work.
+		rng := rand.New(rand.NewSource(seedpkg.Derive(seed, "bench-"+name)))
+		scs := make([]*failure.Scenario, 0, scenarios)
+		for len(scs) < scenarios {
+			if sc := failure.RandomScenario(w.Topo, rng); sc.HasFailures() {
+				scs = append(scs, sc)
+			}
+		}
+		for _, procs := range procsList {
+			rec.Measure("tables-cold", name, procs, func() {
+				for _, sc := range scs {
+					routing.ComputeTablesUnder(w.Topo, sc)
+				}
+			})
+			rec.Measure("tables-incremental", name, procs, func() {
+				for _, sc := range scs {
+					routing.RecomputeTablesUnder(w.Topo, w.Tables, sc)
+				}
+			})
+			rec.Measure("mrc-trees-cold", name, procs, func() {
+				if _, err := mrc.New(w.Topo, 0); err != nil {
+					fmt.Fprintf(os.Stderr, "rtrsim: bench mrc cold %s: %v\n", name, err)
+				}
+			})
+			rec.Measure("mrc-trees-warm", name, procs, func() {
+				if _, err := mrc.NewWarm(w.Topo, 0, w.Tables); err != nil {
+					fmt.Fprintf(os.Stderr, "rtrsim: bench mrc warm %s: %v\n", name, err)
+				}
+			})
 		}
 	}
 }

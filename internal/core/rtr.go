@@ -95,6 +95,13 @@ func (r *RTR) cleanTree(v graph.NodeID) *spt.Tree {
 	return r.clean[v]
 }
 
+// CleanTree returns the cached pre-failure forward shortest path tree
+// rooted at v. The tree is shared: callers must treat it as read-only.
+// The experiment harness uses it to warm-start post-failure truth
+// trees via the delete-only incremental recompute, sharing one cache
+// with phase 2's recovery sessions.
+func (r *RTR) CleanTree(v graph.NodeID) *spt.Tree { return r.cleanTree(v) }
+
 // Errors returned by the recovery engine.
 var (
 	// ErrInitiatorDown is returned when a session is requested at a

@@ -31,7 +31,7 @@ type Scenario struct {
 	mask  *graph.Mask
 }
 
-var _ graph.Denied = (*Scenario)(nil)
+var _ graph.DenseTabler = (*Scenario)(nil)
 
 // NewScenario computes the ground truth for the given failure areas on
 // topo: every node inside any area fails, and every link that has a
@@ -73,6 +73,12 @@ func (s *Scenario) NodeDown(v graph.NodeID) bool { return s.mask.NodeDown(v) }
 
 // LinkDown implements graph.Denied.
 func (s *Scenario) LinkDown(id graph.LinkID) bool { return s.mask.LinkDown(id) }
+
+// DenseTables implements graph.DenseTabler by exposing the ground-truth
+// mask's tables (shared, read-only for callers); the shortest-path
+// engine uses them to skip per-edge interface dispatch when computing
+// post-failure trees.
+func (s *Scenario) DenseTables() (nodes, links []bool) { return s.mask.DenseTables() }
 
 // Areas returns the failure areas.
 func (s *Scenario) Areas() []geom.Disk {

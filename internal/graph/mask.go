@@ -24,7 +24,7 @@ type Mask struct {
 	links []bool
 }
 
-var _ Denied = (*Mask)(nil)
+var _ DenseTabler = (*Mask)(nil)
 
 // NewMask returns an all-up Mask sized for g.
 func NewMask(g *Graph) *Mask {
@@ -45,6 +45,11 @@ func (m *Mask) NodeDown(v NodeID) bool { return m.nodes[v] }
 
 // LinkDown implements Denied.
 func (m *Mask) LinkDown(id LinkID) bool { return m.links[id] }
+
+// DenseTables implements DenseTabler: the mask's own tables, shared —
+// callers must not mutate them and must not hold them across
+// FailNode/FailLink calls.
+func (m *Mask) DenseTables() (nodes, links []bool) { return m.nodes, m.links }
 
 // DownNodes returns the failed nodes in ascending order.
 func (m *Mask) DownNodes() []NodeID {

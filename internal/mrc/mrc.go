@@ -32,6 +32,10 @@ type MRC struct {
 	k    int
 	// isolCfg[v] is the configuration in which node v is isolated.
 	isolCfg []int
+	// clean, when non-nil, holds the pre-failure routing tables of the
+	// same topology; buildTrees warm-starts each configuration tree
+	// from the matching clean reverse tree (see NewWarm).
+	clean *routing.Tables
 	// trees[c][d] is the reverse shortest path tree toward d in
 	// configuration c's usable graph (backbone links plus d's own
 	// restricted links).
@@ -54,6 +58,30 @@ func New(topo *topology.Topology, k int) (*MRC, error) {
 		return nil, errors.New("mrc: need at least 2 configurations")
 	}
 	m := &MRC{topo: topo, k: k, isolCfg: assign(topo.G, k)}
+	m.buildTrees()
+	return m, nil
+}
+
+// NewWarm is New with a warm start: tables must be the pre-failure
+// routing tables of topo (computed under graph.Nothing). Each of the
+// k*n configuration trees is then seeded from the matching clean
+// reverse tree and updated with the delete-only incremental recompute
+// — a configuration's isolation overlay only removes elements relative
+// to the clean graph, so the result is bit-identical to the cold build
+// while skipping the untouched backbone subtrees. If tables is nil,
+// built for a different topology, or computed under failures, the
+// constructor silently falls back to the cold build.
+func NewWarm(topo *topology.Topology, k int, tables *routing.Tables) (*MRC, error) {
+	if k <= 0 {
+		k = DefaultConfigs
+	}
+	if k < 2 {
+		return nil, errors.New("mrc: need at least 2 configurations")
+	}
+	m := &MRC{topo: topo, k: k, isolCfg: assign(topo.G, k)}
+	if tables != nil && tables.Topology() == topo && tables.Under() == graph.Nothing {
+		m.clean = tables
+	}
 	m.buildTrees()
 	return m, nil
 }
@@ -207,18 +235,29 @@ func (m *MRC) buildTrees() {
 	}
 	// The k*n per-configuration trees are independent of one another
 	// (isolCfg is read-only by now): build the whole matrix in parallel.
+	// With clean tables available, each tree warm-starts from the
+	// destination's clean reverse tree: the isolation overlay is
+	// delete-only relative to the clean graph, so the incremental
+	// recompute yields the bit-identical tree for a fraction of the work.
 	par.For(m.k*n, 0, func(i int) {
 		c, d := i/n, graph.NodeID(i%n)
-		m.trees[c][d] = spt.ComputeReverse(m.topo.G, d, cfgDenied{m: m, c: c, dst: d})
+		den := cfgDenied{m: m, c: c, dst: d}
+		if m.clean != nil {
+			m.trees[c][d] = spt.Recompute(m.topo.G, m.clean.DestTree(d), graph.Nothing, den)
+		} else {
+			m.trees[c][d] = spt.ComputeReverse(m.topo.G, d, den)
+		}
 	})
 }
 
-// Route returns the path from src to dst in configuration c, avoiding
-// the link `exclude` on the first hop (the failure the caller just
-// observed; pass an out-of-range value like ^graph.LinkID(0) >> 1 when
-// nothing is excluded is not needed — use ok=false semantics instead).
-// When src itself is isolated in c, the route leaves src over a
-// restricted link into the backbone first.
+// Route returns the path from src to dst in configuration c. The
+// exclude link — typically the failed link the caller just observed —
+// is only consulted when haveExclude is true: a backbone route whose
+// first hop uses it is rejected (ok=false), and an isolated source
+// will not leave over it. When haveExclude is false, exclude is
+// ignored entirely and any value may be passed. When src itself is
+// isolated in c, the route leaves src over its best restricted link
+// into the backbone first.
 func (m *MRC) Route(c int, src, dst graph.NodeID, exclude graph.LinkID, haveExclude bool) ([]graph.NodeID, []graph.LinkID, bool) {
 	if src == dst {
 		return []graph.NodeID{src}, nil, true

@@ -244,3 +244,89 @@ func TestRouteSelfDelivery(t *testing.T) {
 		t.Errorf("self route = %v/%v/%v", nodes, links, ok)
 	}
 }
+
+// requireSameTrees asserts two MRC instances carry bit-identical
+// configuration tree matrices.
+func requireSameTrees(t *testing.T, as string, got, want *MRC) {
+	t.Helper()
+	if got.k != want.k {
+		t.Fatalf("%s: config counts differ: %d vs %d", as, got.k, want.k)
+	}
+	n := want.topo.G.NumNodes()
+	for c := 0; c < want.k; c++ {
+		for d := 0; d < n; d++ {
+			g, w := got.trees[c][d], want.trees[c][d]
+			if g.Kind != w.Kind || g.Root != w.Root {
+				t.Fatalf("%s: tree (%d, %d) identity mismatch", as, c, d)
+			}
+			for v := 0; v < n; v++ {
+				if g.Dist[v] != w.Dist[v] || g.Parent[v] != w.Parent[v] || g.ParentLink[v] != w.ParentLink[v] {
+					t.Fatalf("%s: config %d dst %d node %d: warm (dist %v, parent %d, link %d), cold (%v, %d, %d)",
+						as, c, d, v,
+						g.Dist[v], g.Parent[v], g.ParentLink[v],
+						w.Dist[v], w.Parent[v], w.ParentLink[v])
+				}
+			}
+		}
+	}
+}
+
+// TestNewWarmMatchesCold verifies the warm-started tree matrix is
+// bit-identical to the cold build on every bundled topology — the
+// isolation overlay is delete-only relative to the clean graph, so the
+// incremental recompute must reproduce the cold trees exactly.
+func TestNewWarmMatchesCold(t *testing.T) {
+	for _, as := range topology.ASNames() {
+		as := as
+		t.Run(as, func(t *testing.T) {
+			t.Parallel()
+			topo := topology.GenerateAS(as, 3)
+			cold, err := New(topo, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm, err := NewWarm(topo, 0, routing.ComputeTables(topo))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.clean == nil {
+				t.Fatal("NewWarm with matching clean tables must take the warm path")
+			}
+			requireSameTrees(t, as, warm, cold)
+		})
+	}
+}
+
+// TestNewWarmFallsBackCold covers the guard rails: nil tables, tables
+// of a foreign topology, and tables computed under failures must all
+// silently degrade to the cold build.
+func TestNewWarmFallsBackCold(t *testing.T) {
+	topo := topology.GenerateAS("AS1239", 3)
+	other := topology.GenerateAS("AS209", 3)
+	cold := build(t, topo)
+
+	rng := rand.New(rand.NewSource(9))
+	sc := failure.RandomScenario(topo, rng)
+	for !sc.HasFailures() {
+		sc = failure.RandomScenario(topo, rng)
+	}
+	failedTables := routing.ComputeTablesUnder(topo, sc)
+
+	for _, tc := range []struct {
+		label  string
+		tables *routing.Tables
+	}{
+		{"nil", nil},
+		{"foreign", routing.ComputeTables(other)},
+		{"under-failures", failedTables},
+	} {
+		m, err := NewWarm(topo, 0, tc.tables)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.label, err)
+		}
+		if m.clean != nil {
+			t.Fatalf("%s: warm path taken with unusable tables", tc.label)
+		}
+		requireSameTrees(t, "AS1239/"+tc.label, m, cold)
+	}
+}

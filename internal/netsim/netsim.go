@@ -184,14 +184,17 @@ func New(rtr *core.RTR, tables *routing.Tables, sc *failure.Scenario, cfg Config
 		cfg:      cfg,
 		sessions: make(map[graph.NodeID]*recoveryState),
 	}
-	s.postTables = postFailureTables(sc)
+	s.postTables = postFailureTables(tables, sc)
 	return s
 }
 
 // postFailureTables computes the converged tables of the surviving
-// topology.
-func postFailureTables(sc *failure.Scenario) *routing.Tables {
-	return routing.ComputeTablesUnder(sc.Topo, sc)
+// topology, incrementally from the pre-failure tables: failures are
+// delete-only, so each destination's reverse tree only rebuilds the
+// subtree hanging off the failure area instead of paying a cold
+// Dijkstra (the result is bit-identical either way).
+func postFailureTables(pre *routing.Tables, sc *failure.Scenario) *routing.Tables {
+	return routing.RecomputeTablesUnder(sc.Topo, pre, sc)
 }
 
 func (s *Sim) schedule(at time.Duration, fn func()) {

@@ -31,6 +31,13 @@ type Entry struct {
 	Cases int `json:"cases,omitempty"`
 	// CasesPerSec is the throughput when Cases > 0.
 	CasesPerSec float64 `json:"cases_per_sec,omitempty"`
+	// AllocsPerOp is the number of heap allocations the phase made
+	// (0 when not measured).
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	// Procs is the GOMAXPROCS the phase ran under, when it differs from
+	// the record-level setting (Measure emits serial and parallel
+	// variants of the same phase side by side).
+	Procs int `json:"procs,omitempty"`
 }
 
 // Record is the JSON document a run emits.
@@ -74,6 +81,39 @@ func (r *Recorder) Time(name, topology string, cases int, fn func()) {
 	r.Observe(name, topology, time.Since(start), cases)
 }
 
+// Measure runs fn under the given GOMAXPROCS setting (unchanged when
+// procs <= 0), recording wall time and heap allocations. Callers use
+// it to emit serial (procs=1) and parallel (procs=NumCPU) variants of
+// the same phase side by side, so speedups from parallel fan-out are
+// visible in the trajectory. The allocation count is the global
+// mallocs delta across fn — callers should keep the process otherwise
+// quiet during measurement.
+func (r *Recorder) Measure(name, topology string, procs int, fn func()) {
+	prev := -1
+	if procs > 0 {
+		prev = runtime.GOMAXPROCS(procs)
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if prev > 0 {
+		runtime.GOMAXPROCS(prev)
+	}
+	e := Entry{
+		Name:        name,
+		Topology:    topology,
+		NsPerOp:     d.Nanoseconds(),
+		AllocsPerOp: int64(after.Mallocs - before.Mallocs),
+		Procs:       procs,
+	}
+	r.mu.Lock()
+	r.entries = append(r.entries, e)
+	r.mu.Unlock()
+}
+
 // Record returns the accumulated document.
 func (r *Recorder) Record() Record {
 	r.mu.Lock()
@@ -84,7 +124,10 @@ func (r *Recorder) Record() Record {
 		if entries[i].Name != entries[j].Name {
 			return entries[i].Name < entries[j].Name
 		}
-		return entries[i].Topology < entries[j].Topology
+		if entries[i].Topology != entries[j].Topology {
+			return entries[i].Topology < entries[j].Topology
+		}
+		return entries[i].Procs < entries[j].Procs
 	})
 	return Record{
 		Date:      r.now.Format("2006-01-02"),

@@ -19,7 +19,8 @@ import (
 // window RTR operates in.
 type Tables struct {
 	topo  *topology.Topology
-	byDst []*spt.Tree // reverse tree per destination
+	under graph.Denied // the failure overlay the tables converged on
+	byDst []*spt.Tree  // reverse tree per destination
 }
 
 // ComputeTables computes converged routing tables for topo.
@@ -32,7 +33,7 @@ func ComputeTables(topo *topology.Topology) *Tables {
 // post-convergence state on the surviving topology.
 func ComputeTablesUnder(topo *topology.Topology, d graph.Denied) *Tables {
 	n := topo.G.NumNodes()
-	t := &Tables{topo: topo, byDst: make([]*spt.Tree, n)}
+	t := &Tables{topo: topo, under: d, byDst: make([]*spt.Tree, n)}
 	// One reverse tree per destination, fully independent: fan out
 	// across CPUs (scratch state comes from the spt workspace pool).
 	par.For(n, 0, func(dst int) {
@@ -41,8 +42,39 @@ func ComputeTablesUnder(topo *topology.Topology, d graph.Denied) *Tables {
 	return t
 }
 
+// RecomputeTablesUnder computes the converged tables under the
+// combined failures of pre's overlay and d, seeding every
+// destination's reverse tree from pre and applying the delete-only
+// incremental update instead of a cold Dijkstra per destination. d
+// must only remove elements relative to pre's overlay (the
+// convergence case: routers learn of failures, never of repairs). The
+// result is bit-identical to ComputeTablesUnder on the combined
+// overlay; only the subtrees hanging off failed elements are rebuilt.
+//
+// With a nil pre, or pre built for a different topology, it falls
+// back to the cold build.
+func RecomputeTablesUnder(topo *topology.Topology, pre *Tables, d graph.Denied) *Tables {
+	if pre == nil || pre.topo != topo {
+		return ComputeTablesUnder(topo, d)
+	}
+	under := d
+	if pre.under != graph.Nothing {
+		under = graph.Union{X: pre.under, Y: d}
+	}
+	n := topo.G.NumNodes()
+	t := &Tables{topo: topo, under: under, byDst: make([]*spt.Tree, n)}
+	par.For(n, 0, func(dst int) {
+		t.byDst[dst] = spt.Recompute(topo.G, pre.byDst[dst], pre.under, d)
+	})
+	return t
+}
+
 // Topology returns the topology the tables were computed for.
 func (t *Tables) Topology() *topology.Topology { return t.topo }
+
+// Under returns the failure overlay the tables were computed under
+// (graph.Nothing for pre-failure tables).
+func (t *Tables) Under() graph.Denied { return t.under }
 
 // NextHop returns v's default next hop and outgoing link toward dst.
 // ok is false when v is the destination itself or dst is unreachable

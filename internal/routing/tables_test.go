@@ -1,11 +1,13 @@
 package routing
 
 import (
+	"math/rand"
 	"testing"
 	"time"
 
 	"repro/internal/failure"
 	"repro/internal/graph"
+	"repro/internal/spt"
 	"repro/internal/topology"
 )
 
@@ -194,6 +196,102 @@ func TestLocalViewObservations(t *testing.T) {
 	if lv.NeighborUnreachable(topology.PaperNode(5), topology.PaperLink(topo, 5, 12)) {
 		t.Error("v12 must be reachable from v5")
 	}
+}
+
+// requireTablesIdentical asserts two table sets carry bit-identical
+// per-destination trees: same Dist, Parent, and ParentLink arrays.
+func requireTablesIdentical(t *testing.T, as, label string, got, want *Tables) {
+	t.Helper()
+	n := want.topo.G.NumNodes()
+	for dst := 0; dst < n; dst++ {
+		g, w := got.byDst[dst], want.byDst[dst]
+		if g.Kind != w.Kind || g.Root != w.Root {
+			t.Fatalf("%s %s: tree %d identity mismatch", as, label, dst)
+		}
+		for v := 0; v < n; v++ {
+			if g.Dist[v] != w.Dist[v] || g.Parent[v] != w.Parent[v] || g.ParentLink[v] != w.ParentLink[v] {
+				t.Fatalf("%s %s: dst %d node %d: got (dist %v, parent %d, link %d), want (%v, %d, %d)",
+					as, label, dst, v,
+					g.Dist[v], g.Parent[v], g.ParentLink[v],
+					w.Dist[v], w.Parent[v], w.ParentLink[v])
+			}
+		}
+	}
+}
+
+// TestRecomputeTablesMatchesColdProperty is the tables-layer version of
+// the spt differential test: on every bundled topology, incremental
+// table recomputation under random failure scenarios must be
+// bit-identical to the cold build — including when chained, where the
+// second recompute starts from already-failed tables.
+func TestRecomputeTablesMatchesColdProperty(t *testing.T) {
+	for _, as := range topology.ASNames() {
+		as := as
+		t.Run(as, func(t *testing.T) {
+			t.Parallel()
+			topo := topology.GenerateAS(as, 1)
+			clean := ComputeTables(topo)
+			rng := rand.New(rand.NewSource(int64(len(as)) + 42))
+			scenarios := 0
+			for scenarios < 3 {
+				sc := failure.RandomScenario(topo, rng)
+				if !sc.HasFailures() {
+					continue
+				}
+				scenarios++
+				inc := RecomputeTablesUnder(topo, clean, sc)
+				cold := ComputeTablesUnder(topo, sc)
+				requireTablesIdentical(t, as, "single", inc, cold)
+
+				// Chain a second, disjointly drawn scenario on top: the
+				// recompute now seeds from tables that already carry a
+				// failure overlay.
+				sc2 := failure.RandomScenario(topo, rng)
+				if !sc2.HasFailures() {
+					continue
+				}
+				inc2 := RecomputeTablesUnder(topo, inc, sc2)
+				cold2 := ComputeTablesUnder(topo, graph.Union{X: sc, Y: sc2})
+				requireTablesIdentical(t, as, "chained", inc2, cold2)
+			}
+		})
+	}
+}
+
+// TestRecomputeTablesFallsBackCold covers the guard rails: a nil or
+// foreign pre must silently degrade to the cold build.
+func TestRecomputeTablesFallsBackCold(t *testing.T) {
+	topo := topology.GenerateAS("AS1239", 1)
+	other := topology.GenerateAS("AS209", 1)
+	otherTables := ComputeTables(other)
+	rng := rand.New(rand.NewSource(5))
+	sc := failure.RandomScenario(topo, rng)
+	for !sc.HasFailures() {
+		sc = failure.RandomScenario(topo, rng)
+	}
+	cold := ComputeTablesUnder(topo, sc)
+	requireTablesIdentical(t, "AS1239", "nil-pre", RecomputeTablesUnder(topo, nil, sc), cold)
+	requireTablesIdentical(t, "AS1239", "foreign-pre", RecomputeTablesUnder(topo, otherTables, sc), cold)
+}
+
+// TestTablesUnder pins the overlay bookkeeping RecomputeTablesUnder
+// relies on (and MRC's warm-start guard checks).
+func TestTablesUnder(t *testing.T) {
+	topo := topology.GenerateAS("AS1239", 1)
+	clean := ComputeTables(topo)
+	if clean.Under() != graph.Nothing {
+		t.Fatal("pre-failure tables must report the Nothing overlay")
+	}
+	rng := rand.New(rand.NewSource(5))
+	sc := failure.RandomScenario(topo, rng)
+	for !sc.HasFailures() {
+		sc = failure.RandomScenario(topo, rng)
+	}
+	inc := RecomputeTablesUnder(topo, clean, sc)
+	if inc.Under() != graph.Denied(sc) {
+		t.Fatal("recomputed tables from clean pre must report the scenario itself")
+	}
+	var _ *spt.Tree = inc.DestTree(0) // DestTree stays usable on recomputed tables
 }
 
 func TestWalkAccounting(t *testing.T) {

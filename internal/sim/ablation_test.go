@@ -30,7 +30,11 @@ func TestAblateTerminationUnknownAS(t *testing.T) {
 }
 
 func TestAblateConstraints(t *testing.T) {
-	res, err := AblateConstraints("AS1239", 11, 300)
+	// 600 cases: under the paper's termination rule the walk-length gap
+	// is real but modest, and smaller workloads leave it inside the
+	// noise of which equal-cost converged paths the case generator
+	// happens to draw.
+	res, err := AblateConstraints("AS1239", 11, 600)
 	if err != nil {
 		t.Fatal(err)
 	}

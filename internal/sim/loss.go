@@ -219,7 +219,7 @@ func pathConvergence(w *World, conv *igp.Convergence, o Outcome) time.Duration {
 	c := o.Case
 	tree := o.Truth
 	if tree == nil {
-		tree = spt.Compute(w.Topo.G, c.Initiator, c.Scenario)
+		tree = spt.Recompute(w.Topo.G, w.RTR.CleanTree(c.Initiator), graph.Nothing, c.Scenario)
 	}
 	nodes, ok := tree.PathNodes(c.Dst)
 	if !ok {

@@ -52,7 +52,12 @@ func (tc *truthCache) tree(c *Case) *spt.Tree {
 	}
 	tc.mu.Unlock()
 	e.once.Do(func() {
-		e.tree = spt.Compute(tc.w.Topo.G, c.Initiator, c.Scenario)
+		// Warm start: the initiator's clean tree (cached by RTR — every
+		// link-state router maintains it anyway) plus the delete-only
+		// incremental update under the scenario. Bit-identical to a
+		// cold spt.Compute under the scenario, but only the subtree
+		// hanging off the failure area is rebuilt.
+		e.tree = spt.Recompute(tc.w.Topo.G, tc.w.RTR.CleanTree(c.Initiator), graph.Nothing, c.Scenario)
 	})
 	return e.tree
 }

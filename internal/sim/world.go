@@ -43,17 +43,21 @@ func NewWorld(asName string, seed int64, opts ...core.Option) (*World, error) {
 	return NewWorldFrom(topo, opts...)
 }
 
-// NewWorldFrom builds a World for an existing topology.
+// NewWorldFrom builds a World for an existing topology. The converged
+// routing tables are built first so MRC can warm-start its k*n
+// configuration trees from the clean reverse trees instead of running
+// a cold Dijkstra per (configuration, destination) pair.
 func NewWorldFrom(topo *topology.Topology, opts ...core.Option) (*World, error) {
 	ci := topology.BuildCrossIndex(topo)
-	m, err := mrc.New(topo, 0)
+	tables := routing.ComputeTables(topo)
+	m, err := mrc.NewWarm(topo, 0, tables)
 	if err != nil {
 		return nil, fmt.Errorf("sim: building MRC for %s: %w", topo.Name, err)
 	}
 	return &World{
 		Topo:   topo,
 		CI:     ci,
-		Tables: routing.ComputeTables(topo),
+		Tables: tables,
 		RTR:    core.New(topo, ci, opts...),
 		FCP:    fcp.New(topo),
 		MRC:    m,

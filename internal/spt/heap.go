@@ -5,6 +5,14 @@ import "repro/internal/graph"
 // minHeap is a binary min-heap of (node, dist) entries with lazy
 // deletion: decrease-key is implemented by pushing a fresh entry and
 // discarding stale pops in the Dijkstra loop.
+//
+// Entries are ordered by (dist, node): ties in distance break on the
+// smaller node ID. Because link costs are strictly positive, every
+// node's final entry is in the heap before the first entry at its
+// distance pops, so the canonical order makes the whole pop sequence —
+// and with it every equal-cost parent choice — a pure function of
+// (graph, overlay, root), independent of insertion order. That is what
+// lets incremental recomputation reproduce a cold build bit for bit.
 type minHeap struct {
 	nodes []graph.NodeID
 	dists []float64
@@ -46,10 +54,18 @@ func (h *minHeap) pop() (v graph.NodeID, d float64, ok bool) {
 	return v, d, true
 }
 
+// less is the canonical (dist, node) order.
+func (h *minHeap) less(i, j int) bool {
+	if h.dists[i] != h.dists[j] {
+		return h.dists[i] < h.dists[j]
+	}
+	return h.nodes[i] < h.nodes[j]
+}
+
 func (h *minHeap) up(i int) {
 	for i > 0 {
 		p := (i - 1) / 2
-		if h.dists[p] <= h.dists[i] {
+		if !h.less(i, p) {
 			return
 		}
 		h.swap(i, p)
@@ -62,10 +78,10 @@ func (h *minHeap) down(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		min := i
-		if l < n && h.dists[l] < h.dists[min] {
+		if l < n && h.less(l, min) {
 			min = l
 		}
-		if r < n && h.dists[r] < h.dists[min] {
+		if r < n && h.less(r, min) {
 			min = r
 		}
 		if min == i {

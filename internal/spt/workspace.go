@@ -31,9 +31,11 @@ type Workspace struct {
 	childHead []int32
 	childNext []int32
 	queue     []graph.NodeID
-	// union is the combined failure overlay of the current recompute,
-	// stored here so boxing it into graph.Denied does not allocate.
-	union graph.Union
+	// Compiled overlay scratch: the current computation's failure
+	// overlay as flat node/link down tables (see graph.DenseTabler),
+	// filled only when the overlay cannot lend its own tables.
+	denseNodes []bool
+	denseLinks []bool
 }
 
 var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
@@ -122,8 +124,91 @@ func (ws *Workspace) ensureChildren(n int) (head, next []int32) {
 	return ws.childHead, ws.childNext
 }
 
+// ensureDense returns the compiled-overlay scratch tables, sized for
+// (n, m) and cleared.
+func (ws *Workspace) ensureDense(n, m int) (nodes, links []bool) {
+	ws.denseNodes = resizeCleared(ws.denseNodes, n)
+	ws.denseLinks = resizeCleared(ws.denseLinks, m)
+	return ws.denseNodes, ws.denseLinks
+}
+
+func resizeCleared(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// dense returns d as flat node/link down tables: borrowed from d when
+// it is a graph.DenseTabler, zeroed scratch for graph.Nothing, and
+// compiled into scratch otherwise (O(n+m) interface calls, amortized
+// against the ~4m per-edge calls the settle loop would make).
+func (ws *Workspace) dense(g *graph.Graph, d graph.Denied) (nodeDown, linkDown []bool) {
+	if d == graph.Nothing {
+		return ws.ensureDense(g.NumNodes(), g.NumLinks())
+	}
+	if nodes, links, ok := graph.DenseTablesOf(d); ok {
+		return nodes, links
+	}
+	nd, ld := ws.ensureDense(g.NumNodes(), g.NumLinks())
+	for v := range nd {
+		nd[v] = d.NodeDown(graph.NodeID(v))
+	}
+	for l := range ld {
+		ld[l] = d.LinkDown(graph.LinkID(l))
+	}
+	return nd, ld
+}
+
+// denseUnion returns the union of two overlays as flat tables,
+// borrowing one side's tables outright when the other is Nothing.
+func (ws *Workspace) denseUnion(g *graph.Graph, base, extra graph.Denied) (nodeDown, linkDown []bool) {
+	if base == graph.Nothing {
+		return ws.dense(g, extra)
+	}
+	if extra == graph.Nothing {
+		return ws.dense(g, base)
+	}
+	nd, ld := ws.ensureDense(g.NumNodes(), g.NumLinks())
+	orInto(nd, ld, base)
+	orInto(nd, ld, extra)
+	return nd, ld
+}
+
+// orInto merges d's failures into the (nd, ld) tables.
+func orInto(nd, ld []bool, d graph.Denied) {
+	if nodes, links, ok := graph.DenseTablesOf(d); ok {
+		for i, down := range nodes {
+			if down {
+				nd[i] = true
+			}
+		}
+		for i, down := range links {
+			if down {
+				ld[i] = true
+			}
+		}
+		return
+	}
+	for v := range nd {
+		if !nd[v] && d.NodeDown(graph.NodeID(v)) {
+			nd[v] = true
+		}
+	}
+	for l := range ld {
+		if !ld[l] && d.LinkDown(graph.LinkID(l)) {
+			ld[l] = true
+		}
+	}
+}
+
 // runInto resets t for (kind, root) and runs Dijkstra over the live
-// subgraph under d, using the workspace's heap.
+// subgraph under d, using the workspace's heap and the compiled dense
+// view of d.
 func (ws *Workspace) runInto(t *Tree, g *graph.Graph, root graph.NodeID, d graph.Denied, kind Kind) {
 	n := g.NumNodes()
 	t.Kind, t.Root = kind, root
@@ -132,13 +217,14 @@ func (ws *Workspace) runInto(t *Tree, g *graph.Graph, root graph.NodeID, d graph
 		t.Parent[i] = None
 		t.ParentLink[i] = None
 	}
-	if d.NodeDown(root) {
+	dn, dl := ws.dense(g, d)
+	if dn[root] {
 		return
 	}
 	t.Dist[root] = 0
 	ws.h.reset(n)
 	ws.h.push(root, 0)
-	settle(g, t, d, &ws.h, nil)
+	settleDense(g, t, dn, dl, &ws.h, nil)
 }
 
 // recomputeInto performs the incremental update in place on nt, which
@@ -146,8 +232,6 @@ func (ws *Workspace) runInto(t *Tree, g *graph.Graph, root graph.NodeID, d graph
 // remove elements. See the package-level Recompute for the algorithm.
 func (ws *Workspace) recomputeInto(nt *Tree, g *graph.Graph, base, extra graph.Denied) {
 	n := g.NumNodes()
-	ws.union = graph.Union{X: base, Y: extra}
-	combined := graph.Denied(&ws.union)
 
 	if extra.NodeDown(nt.Root) {
 		for i := 0; i < n; i++ {
@@ -203,8 +287,14 @@ func (ws *Workspace) recomputeInto(nt *Tree, g *graph.Graph, base, extra graph.D
 	}
 	ws.queue = queue
 
-	// 3. Reset the affected region and seed the heap from the frontier:
-	// live edges leading from unaffected nodes into the region.
+	// 3. Reset the affected region and seed the heap with the frontier:
+	// every unaffected node with a live edge into the region, pushed
+	// once at its (unchanged) distance. Settle then pops frontier and
+	// region nodes interleaved in the canonical (dist, node) order a
+	// cold build would use, so every equal-cost parent choice inside
+	// the region matches the cold build bit for bit. (Relaxing frontier
+	// edges here directly instead would fix region parents in node-scan
+	// order and break that identity.)
 	for v := 0; v < n; v++ {
 		if affected[v] {
 			nt.Dist[v] = Inf
@@ -212,28 +302,23 @@ func (ws *Workspace) recomputeInto(nt *Tree, g *graph.Graph, base, extra graph.D
 			nt.ParentLink[v] = None
 		}
 	}
+	dn, dl := ws.denseUnion(g, base, extra)
 	ws.h.reset(n)
 	for v := 0; v < n; v++ {
 		if affected[v] || nt.Dist[v] == Inf {
 			continue
 		}
-		u := graph.NodeID(v)
-		for _, he := range g.Adj(u) {
+		for _, he := range g.Adj(graph.NodeID(v)) {
 			w := he.Neighbor
-			if !affected[w] || combined.NodeDown(w) || combined.LinkDown(he.Link) {
-				continue
-			}
-			l := g.Link(he.Link)
-			nd := nt.Dist[v] + edgeCost(l, nt.Kind, w)
-			if nd < nt.Dist[w] {
-				nt.Dist[w] = nd
-				nt.Parent[w] = int32(u)
-				nt.ParentLink[w] = int32(he.Link)
-				ws.h.push(w, nd)
+			if affected[w] && !dn[w] && !dl[he.Link] {
+				ws.h.push(graph.NodeID(v), nt.Dist[v])
+				break
 			}
 		}
 	}
 
-	// 4. Run Dijkstra restricted to the affected region.
-	settle(g, nt, combined, &ws.h, affected)
+	// 4. Run Dijkstra restricted to the affected region: the scope
+	// guard keeps frontier nodes' own labels fixed while their pops
+	// relax edges into the region at the canonical moment.
+	settleDense(g, nt, dn, dl, &ws.h, affected)
 }
