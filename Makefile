@@ -31,13 +31,15 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 50x -benchmem .
 
 ## bench-diff: regenerate a fresh performance record (world builds plus
-## the cold-vs-incremental convergence benches; no dataset sweep) and
-## print per-entry deltas against the latest checked-in BENCH_*.json.
-## Informational only — the target never fails on regressions.
+## the convergence and case-runner benches; no dataset sweep) and print
+## per-entry deltas against the latest checked-in BENCH_*.json.
+## Informational by default (BENCH_FAIL_OVER=0 never fails); set
+## BENCH_FAIL_OVER=25 to exit non-zero on any >25% ns/op regression.
+BENCH_FAIL_OVER ?= 0
 bench-diff:
 	rm -rf .bench-diff && mkdir -p .bench-diff
 	$(GO) run ./cmd/rtrsim -exp table2 -bench-json .bench-diff/new.json > /dev/null
-	-$(GO) run ./cmd/benchdiff .bench-diff/new.json
+	-$(GO) run ./cmd/benchdiff -fail-over $(BENCH_FAIL_OVER) .bench-diff/new.json
 	rm -rf .bench-diff
 
 ## sweep-smoke: end-to-end determinism of the sharded sweep. One

@@ -399,6 +399,44 @@ func BenchmarkRunAllParallelScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkRunAllBatched measures batched execution against the
+// per-case oracle on full-scenario case batches from the two largest
+// Table II topologies (AS7018 by nodes, AS3549 by density). A full
+// scenario maximizes destination fan-out per (initiator, trigger)
+// group, which is exactly the sharing the batched runner exploits:
+// one collection walk and one pruned-view SPT per group instead of
+// one per destination.
+func BenchmarkRunAllBatched(b *testing.B) {
+	for _, as := range []string{"AS7018", "AS3549"} {
+		w, err := sim.NewWorld(as, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(13))
+		var cases []*sim.Case
+		for len(cases) == 0 {
+			sc := failure.RandomScenario(w.Topo, rng)
+			rec, irr := sim.CasesFromScenario(w, sc)
+			cases = append(append(cases, rec...), irr...)
+		}
+		for _, variant := range []struct {
+			name string
+			run  func()
+		}{
+			{"percase", func() { sim.RunAllPerCase(w, cases, 0) }},
+			{"batched", func() { sim.RunAllN(w, cases, 0) }},
+		} {
+			b.Run(as+"/"+variant.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					variant.run()
+				}
+				b.ReportMetric(float64(len(cases))*float64(b.N)/b.Elapsed().Seconds(), "cases/sec")
+			})
+		}
+	}
+}
+
 // BenchmarkIncrementalRecompute measures the Narvaez-style incremental
 // SPT update RTR's phase 2 uses, against a batch of removed links.
 func BenchmarkIncrementalRecompute(b *testing.B) {

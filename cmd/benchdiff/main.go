@@ -1,12 +1,16 @@
 // Command benchdiff compares two BENCH_<date>.json performance
-// records (see internal/perf) and prints per-entry deltas. It is
-// informational: it always exits 0, so CI can run it on every build
-// and surface regressions in the log without failing the gate.
+// records (see internal/perf) and prints per-entry deltas. By default
+// it is informational: it exits 0 regardless of what it finds, so CI
+// can run it on every build and surface regressions in the log
+// without failing the gate. With -fail-over N (percent, > 0) it exits
+// 1 when any entry's ns/op regressed by more than N percent, turning
+// the same comparison into an opt-in gate.
 //
 // Usage:
 //
 //	benchdiff new.json            # old = latest checked-in BENCH_*.json
 //	benchdiff -old a.json b.json  # explicit pair
+//	benchdiff -fail-over 25 new.json  # exit 1 on any >25% ns/op regression
 //
 // When -old is not given, the previous record is the
 // lexicographically last BENCH_*.json in the current directory whose
@@ -27,9 +31,10 @@ import (
 
 func main() {
 	oldPath := flag.String("old", "", "previous record (default: latest checked-in BENCH_*.json)")
+	failOver := flag.Float64("fail-over", 0, "exit 1 if any ns/op regression exceeds this percentage (0 = never fail)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-old prev.json] new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-old prev.json] [-fail-over pct] new.json")
 		return
 	}
 	newPath := flag.Arg(0)
@@ -51,7 +56,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		return
 	}
-	diff(os.Stdout, *oldPath, oldRec, newPath, newRec)
+	worst := diff(os.Stdout, *oldPath, oldRec, newPath, newRec)
+	if *failOver > 0 && worst > *failOver {
+		fmt.Fprintf(os.Stderr, "benchdiff: worst ns/op regression %+.1f%% exceeds -fail-over %.1f%%\n", worst, *failOver)
+		os.Exit(1)
+	}
 }
 
 // latestRecord returns the lexicographically last BENCH_*.json in dir
@@ -95,32 +104,53 @@ type entryKey struct {
 	procs int
 }
 
-func diff(w *os.File, oldPath string, oldRec *perf.Record, newPath string, newRec *perf.Record) {
+// fmtAllocs renders an allocs/op cell; records predating allocation
+// tracking have zero, shown as "-" to avoid fake -100% deltas.
+func fmtAllocs(n int64) string {
+	if n == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// diff prints the per-entry comparison and returns the worst ns/op
+// regression in percent (negative or zero when nothing got slower).
+func diff(w *os.File, oldPath string, oldRec *perf.Record, newPath string, newRec *perf.Record) float64 {
 	fmt.Fprintf(w, "benchdiff: %s (%s) -> %s (%s)\n", oldPath, oldRec.Date, newPath, newRec.Date)
-	fmt.Fprintf(w, "%-22s %-8s %5s %14s %14s %9s\n", "entry", "topology", "procs", "old ns/op", "new ns/op", "delta")
+	fmt.Fprintf(w, "%-22s %-8s %5s %14s %14s %9s %12s %12s\n",
+		"entry", "topology", "procs", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
 	oldBy := map[entryKey]perf.Entry{}
 	for _, e := range oldRec.Entries {
 		oldBy[entryKey{e.Name, e.Topology, e.Procs}] = e
 	}
+	worst := 0.0
 	seen := map[entryKey]bool{}
 	for _, e := range newRec.Entries {
 		k := entryKey{e.Name, e.Topology, e.Procs}
 		seen[k] = true
 		o, ok := oldBy[k]
 		if !ok {
-			fmt.Fprintf(w, "%-22s %-8s %5d %14s %14d %9s\n", e.Name, e.Topology, e.Procs, "-", e.NsPerOp, "new")
+			fmt.Fprintf(w, "%-22s %-8s %5d %14s %14d %9s %12s %12s\n",
+				e.Name, e.Topology, e.Procs, "-", e.NsPerOp, "new", "-", fmtAllocs(e.AllocsPerOp))
 			continue
 		}
 		delta := "n/a"
 		if o.NsPerOp > 0 {
-			delta = fmt.Sprintf("%+.1f%%", 100*float64(e.NsPerOp-o.NsPerOp)/float64(o.NsPerOp))
+			pct := 100 * float64(e.NsPerOp-o.NsPerOp) / float64(o.NsPerOp)
+			if pct > worst {
+				worst = pct
+			}
+			delta = fmt.Sprintf("%+.1f%%", pct)
 		}
-		fmt.Fprintf(w, "%-22s %-8s %5d %14d %14d %9s\n", e.Name, e.Topology, e.Procs, o.NsPerOp, e.NsPerOp, delta)
+		fmt.Fprintf(w, "%-22s %-8s %5d %14d %14d %9s %12s %12s\n",
+			e.Name, e.Topology, e.Procs, o.NsPerOp, e.NsPerOp, delta, fmtAllocs(o.AllocsPerOp), fmtAllocs(e.AllocsPerOp))
 	}
 	for _, e := range oldRec.Entries {
 		k := entryKey{e.Name, e.Topology, e.Procs}
 		if !seen[k] {
-			fmt.Fprintf(w, "%-22s %-8s %5d %14d %14s %9s\n", e.Name, e.Topology, e.Procs, e.NsPerOp, "-", "gone")
+			fmt.Fprintf(w, "%-22s %-8s %5d %14d %14s %9s %12s %12s\n",
+				e.Name, e.Topology, e.Procs, e.NsPerOp, "-", "gone", fmtAllocs(e.AllocsPerOp), "-")
 		}
 	}
+	return worst
 }

@@ -293,10 +293,12 @@ func main() {
 }
 
 // recordConvergenceBench times the per-scenario converged-table builds
-// (cold ComputeTablesUnder vs incremental RecomputeTablesUnder) and the
-// MRC tree-matrix builds (cold vs warm-start) for every topology, once
-// serially and once with GOMAXPROCS=NumCPU, so BENCH_<date>.json tracks
-// both the incremental convergence layer and the par.For speedups.
+// (cold ComputeTablesUnder vs incremental RecomputeTablesUnder), the
+// MRC tree-matrix builds (cold vs warm-start), and the case runner
+// (per-case oracle vs batched grouped execution) for every topology,
+// once serially and once with GOMAXPROCS=NumCPU, so BENCH_<date>.json
+// tracks the incremental convergence layer, the execution batching,
+// and the par.For speedups.
 func recordConvergenceBench(rec *perf.Recorder, worlds []*sim.World, seed int64) {
 	const scenarios = 20
 	procsList := []int{1}
@@ -334,6 +336,28 @@ func recordConvergenceBench(rec *perf.Recorder, worlds []*sim.World, seed int64)
 				if _, err := mrc.NewWarm(w.Topo, 0, w.Tables); err != nil {
 					fmt.Fprintf(os.Stderr, "rtrsim: bench mrc warm %s: %v\n", name, err)
 				}
+			})
+		}
+		// The runner entries use the full case fan-out of the first
+		// pre-drawn scenario with any cases: maximal destination
+		// sharing per (initiator, trigger) group, the workload the
+		// batched runner is built for.
+		var cases []*sim.Case
+		for _, sc := range scs {
+			r, i := sim.CasesFromScenario(w, sc)
+			if cases = append(append(cases, r...), i...); len(cases) > 0 {
+				break
+			}
+		}
+		if len(cases) == 0 {
+			continue
+		}
+		for _, procs := range procsList {
+			rec.Measure("runall-percase", name, procs, func() {
+				sim.RunAllPerCase(w, cases, procs)
+			})
+			rec.Measure("runall-batched", name, procs, func() {
+				sim.RunAllN(w, cases, procs)
 			})
 		}
 	}

@@ -66,14 +66,30 @@ func (s *Session) recoveryTree() *spt.Tree {
 // immediately, the paper's early-discard behavior for irrecoverable
 // destinations.
 func (s *Session) RecoveryPath(dst graph.NodeID) (Route, bool) {
-	t := s.recoveryTree()
-	nodes, ok := t.PathNodes(dst)
-	if !ok {
+	var rt Route
+	if !s.RecoveryPathInto(&rt, dst) {
 		return Route{}, false
 	}
-	links, _ := t.PathLinks(dst)
-	cost, _ := t.CostTo(dst)
-	return Route{Nodes: nodes, Links: links, Cost: cost}, true
+	return rt, true
+}
+
+// RecoveryPathInto is RecoveryPath writing into rt, reusing its backing
+// arrays: the batched runners extract one route per destination from
+// the shared session without allocating per case. On false (dst
+// unreachable in the pruned view) rt is reset to an empty route but
+// keeps its capacity.
+func (s *Session) RecoveryPathInto(rt *Route, dst graph.NodeID) bool {
+	t := s.recoveryTree()
+	nodes, ok := t.AppendPathNodes(rt.Nodes[:0], dst)
+	rt.Nodes = nodes
+	rt.Links = rt.Links[:0]
+	rt.Cost = 0
+	if !ok {
+		return false
+	}
+	rt.Links, _ = t.AppendPathLinks(rt.Links, dst)
+	rt.Cost, _ = t.CostTo(dst)
+	return true
 }
 
 // SourceRouteHeader builds the phase-2 packet header carrying rt as a
@@ -109,8 +125,11 @@ type ForwardResult struct {
 // a failure. In that case, RTR simply discards the packet").
 func (s *Session) ForwardSourceRouted(rt Route) ForwardResult {
 	var res ForwardResult
-	h := s.SourceRouteHeader(rt)
-	bytes := h.RecordingBytes()
+	// The ModeSource header records exactly the source route (16 bits
+	// per entry); building the actual header here would allocate a copy
+	// of rt.Nodes just to take its length.
+	bytes := 2 * len(rt.Nodes)
+	res.Walk.Reserve(len(rt.Links))
 	for i := 0; i+1 < len(rt.Nodes); i++ {
 		v, w := rt.Nodes[i], rt.Nodes[i+1]
 		link := rt.Links[i]

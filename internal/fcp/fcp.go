@@ -10,6 +10,7 @@ package fcp
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/routing"
@@ -18,15 +19,31 @@ import (
 )
 
 // FCP is the baseline engine bound to one topology. It is stateless
-// apart from the immutable topology and safe for concurrent use.
+// apart from the immutable topology (and an optional clean-tree
+// provider) and safe for concurrent use.
 type FCP struct {
 	topo *topology.Topology
+	// clean optionally supplies the pre-failure forward SPT rooted at a
+	// node. The carried failure set only grows, so every recomputation
+	// is a delete-only update of that clean tree and can run as a
+	// frontier-push spt.Recompute over the affected region instead of a
+	// cold full-graph Dijkstra. Bit-identical either way (the
+	// incremental engine's canonical tie-break guarantee).
+	clean func(graph.NodeID) *spt.Tree
 }
 
 // New creates an FCP engine for topo.
 func New(topo *topology.Topology) *FCP {
 	return &FCP{topo: topo}
 }
+
+// UseCleanTrees installs a provider of pre-failure forward shortest
+// path trees (the SPT every link-state router maintains anyway) that
+// Recover warm-starts its per-iteration recomputations from. The
+// provider must be safe for concurrent use and the returned trees are
+// treated as read-only; World wires RTR's per-node sync.Once cache
+// here so both protocols share one set of clean trees.
+func (f *FCP) UseCleanTrees(clean func(graph.NodeID) *spt.Tree) { f.clean = clean }
 
 // Topology returns the engine's topology.
 func (f *FCP) Topology() *topology.Topology { return f.topo }
@@ -55,6 +72,36 @@ type Result struct {
 // number of failed links.
 func (f *FCP) maxRecomputes() int { return f.topo.G.NumLinks() + 2 }
 
+// recoverScratch pools the per-recovery working slices: path
+// extraction buffers and the working header's failed-link and
+// source-route backing. sealHeader clones the header fields into
+// exact-size owned slices on every return path, so the scratch never
+// escapes a Recover call.
+type recoverScratch struct {
+	nodes  []graph.NodeID
+	links  []graph.LinkID
+	failed []graph.LinkID
+	route  []graph.NodeID
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(recoverScratch) }}
+
+// sealHeader replaces the header's pooled backing with owned
+// exact-size copies (nil when empty, matching the semantics of the
+// append-to-nil construction this replaces).
+func sealHeader(h *routing.Header) {
+	if len(h.FailedLinks) == 0 {
+		h.FailedLinks = nil
+	} else {
+		h.FailedLinks = append(make([]graph.LinkID, 0, len(h.FailedLinks)), h.FailedLinks...)
+	}
+	if len(h.SourceRoute) == 0 {
+		h.SourceRoute = nil
+	} else {
+		h.SourceRoute = append(make([]graph.NodeID, 0, len(h.SourceRoute)), h.SourceRoute...)
+	}
+}
+
 // Recover attempts delivery from the recovery initiator to dst under
 // the local view lv. The initiator already observes its own
 // unreachable neighbors and records them in the header before the
@@ -77,6 +124,10 @@ func (f *FCP) Recover(lv *routing.LocalView, initiator, dst graph.NodeID) (Resul
 	m := graph.NewMask(g)
 	ws := spt.GetWorkspace()
 	defer ws.Release()
+	sc := scratchPool.Get().(*recoverScratch)
+	defer scratchPool.Put(sc)
+	res.Header.FailedLinks = sc.failed[:0]
+	applied := 0 // prefix of Header.FailedLinks already failed into m
 	for iter := 0; iter < f.maxRecomputes(); iter++ {
 		// Record everything the current router can observe (adjacency
 		// scan, same order as lv.UnreachableLinks, without the slice).
@@ -85,24 +136,45 @@ func (f *FCP) Recover(lv *routing.LocalView, initiator, dst graph.NodeID) (Resul
 				res.Header.RecordFailedLink(he.Link)
 			}
 		}
+		sc.failed = res.Header.FailedLinks
 
-		// Recompute a shortest path in the pruned view.
-		for _, id := range res.Header.FailedLinks {
+		// Fail only the links recorded since the last iteration into
+		// the pruned view — the carried set is append-only, so the mask
+		// already holds the earlier prefix.
+		for _, id := range res.Header.FailedLinks[applied:] {
 			m.FailLink(id)
 		}
-		tree := ws.Compute(g, cur, m)
+		applied = len(res.Header.FailedLinks)
+
+		// Recompute a shortest path in the pruned view: delete-only
+		// from the router's clean tree when a provider is installed,
+		// cold otherwise.
+		var tree *spt.Tree
+		if f.clean != nil {
+			tree = ws.Recompute(g, f.clean(cur), graph.Nothing, m)
+		} else {
+			tree = ws.Compute(g, cur, m)
+		}
 		res.SPCalcs++
-		nodes, ok := tree.PathNodes(dst)
+		nodes, ok := tree.AppendPathNodes(sc.nodes[:0], dst)
+		sc.nodes = nodes
 		if !ok {
 			res.DropAt = cur
+			sealHeader(&res.Header)
 			return res, nil
 		}
-		links, _ := tree.PathLinks(dst)
-		res.Header.SourceRoute = append([]graph.NodeID(nil), nodes...)
+		links, _ := tree.AppendPathLinks(sc.links[:0], dst)
+		sc.links = links
+		// The source route needs backing distinct from sc.nodes: on a
+		// blocked hop the header keeps this iteration's route while the
+		// next iteration's path extraction reuses sc.nodes.
+		res.Header.SourceRoute = append(sc.route[:0], nodes...)
+		sc.route = res.Header.SourceRoute
 		res.Header.SourceIdx = 0
 		bytes := res.Header.RecordingBytes()
 
 		// Source-route until delivered or blocked.
+		res.Walk.Reserve(len(links))
 		blocked := false
 		for i := 0; i+1 < len(nodes); i++ {
 			if lv.NeighborUnreachable(nodes[i], links[i]) {
@@ -115,9 +187,11 @@ func (f *FCP) Recover(lv *routing.LocalView, initiator, dst graph.NodeID) (Resul
 		}
 		if !blocked {
 			res.Delivered = true
+			sealHeader(&res.Header)
 			return res, nil
 		}
 	}
 	res.DropAt = cur
+	sealHeader(&res.Header)
 	return res, fmt.Errorf("fcp: recompute bound exceeded at node %d", cur)
 }

@@ -2,6 +2,7 @@ package fcp
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/failure"
@@ -103,6 +104,56 @@ func TestFCPAlwaysDeliversWhenConnected(t *testing.T) {
 			if float64(res.Walk.Hops()) < opt {
 				t.Fatalf("trajectory (%d hops) beats the optimum (%v)", res.Walk.Hops(), opt)
 			}
+		}
+	}
+}
+
+// TestRecoverWarmMatchesCold is the warm-start differential contract:
+// with a clean-tree provider installed every recomputation runs as a
+// delete-only incremental update, and the full Result — trajectory,
+// header, SPCalcs, drop point — must be bit-identical to the cold
+// full-graph Dijkstra engine on the same cases.
+func TestRecoverWarmMatchesCold(t *testing.T) {
+	topo := topology.GenerateAS("AS1239", 7)
+	cold := New(topo)
+	warm := New(topo)
+	clean := map[graph.NodeID]*spt.Tree{}
+	warm.UseCleanTrees(func(v graph.NodeID) *spt.Tree {
+		tr := clean[v]
+		if tr == nil {
+			tr = spt.Compute(topo.G, v, graph.Nothing)
+			clean[v] = tr
+		}
+		return tr
+	})
+	tables := routing.ComputeTables(topo)
+	rng := rand.New(rand.NewSource(31))
+	n := topo.G.NumNodes()
+	tried := 0
+	for tried < 200 {
+		sc := failure.RandomScenario(topo, rng)
+		lv := routing.NewLocalView(topo, sc)
+		src := graph.NodeID(rng.Intn(n))
+		dst := graph.NodeID(rng.Intn(n))
+		if src == dst {
+			continue
+		}
+		outcome, initiator, _ := routing.TraceDefault(tables, lv, src, dst)
+		if outcome != routing.DefaultBlocked {
+			continue
+		}
+		tried++
+		rc, err := cold.Recover(lv, initiator, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rw, err := warm.Recover(lv, initiator, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(rc, rw) {
+			t.Fatalf("warm result diverges from cold (initiator %d, dst %d):\n  cold: %+v\n  warm: %+v",
+				initiator, dst, rc, rw)
 		}
 	}
 }

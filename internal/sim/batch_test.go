@@ -1,0 +1,252 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// outcomesEqual compares two outcome slices the way the batching
+// contract demands: identical protocol results, identical error text,
+// and content-identical truth trees (the trees are shared pointers
+// inside one run, so pointer equality across runs is not expected).
+func outcomesEqual(t *testing.T, label string, want, got []Outcome) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("%s: length mismatch: %d vs %d", label, len(want), len(got))
+	}
+	for i := range want {
+		a, b := &want[i], &got[i]
+		if a.Case != b.Case {
+			t.Fatalf("%s: case %d: case pointer mismatch", label, i)
+		}
+		if !reflect.DeepEqual(a.RTR, b.RTR) {
+			t.Fatalf("%s: case %d: RTR differs:\n  want %+v\n  got  %+v", label, i, a.RTR, b.RTR)
+		}
+		if !reflect.DeepEqual(a.FCP, b.FCP) {
+			t.Fatalf("%s: case %d: FCP differs:\n  want %+v\n  got  %+v", label, i, a.FCP, b.FCP)
+		}
+		if !reflect.DeepEqual(a.MRC, b.MRC) {
+			t.Fatalf("%s: case %d: MRC differs:\n  want %+v\n  got  %+v", label, i, a.MRC, b.MRC)
+		}
+		ae, be := "", ""
+		if a.Err != nil {
+			ae = a.Err.Error()
+		}
+		if b.Err != nil {
+			be = b.Err.Error()
+		}
+		if ae != be {
+			t.Fatalf("%s: case %d: error differs: %q vs %q", label, i, ae, be)
+		}
+		if (a.Truth == nil) != (b.Truth == nil) {
+			t.Fatalf("%s: case %d: truth nil-ness differs: %v vs %v", label, i, a.Truth == nil, b.Truth == nil)
+		}
+		if a.Truth != nil && !reflect.DeepEqual(*a.Truth, *b.Truth) {
+			t.Fatalf("%s: case %d: truth tree content differs", label, i)
+		}
+	}
+}
+
+// TestBatchedMatchesPerCase is the tentpole's differential contract:
+// on every bundled topology, batched execution must produce an outcome
+// slice identical to the per-case oracle for every worker count.
+func TestBatchedMatchesPerCase(t *testing.T) {
+	workerCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, as := range topology.ASNames() {
+		t.Run(as, func(t *testing.T) {
+			t.Parallel()
+			w, err := NewWorld(as, 3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec, irr := CollectBoth(w, rand.New(rand.NewSource(17)), 40, 40)
+			cases := append(rec, irr...)
+			if len(cases) == 0 {
+				t.Fatal("no cases drawn")
+			}
+			oracle := RunAllPerCase(w, cases, 1)
+			for _, workers := range workerCounts {
+				label := fmt.Sprintf("workers=%d", workers)
+				outcomesEqual(t, label+"/batched", oracle, RunAllN(w, cases, workers))
+				if workers != 1 {
+					outcomesEqual(t, label+"/per-case", oracle, RunAllPerCase(w, cases, workers))
+				}
+			}
+		})
+	}
+}
+
+// erroringCases rewires valid cases so each one's trigger is a live
+// link of its initiator: collection then fails deterministically with
+// core.ErrNotUnreachable before any work is done.
+func erroringCases(t *testing.T, w *World, cases []*Case) []*Case {
+	t.Helper()
+	var out []*Case
+	for _, c := range cases {
+		for _, he := range w.Topo.G.Adj(c.Initiator) {
+			if !c.LV.NeighborUnreachable(c.Initiator, he.Link) {
+				bad := *c
+				bad.Trigger = he.Link
+				bad.NextHop = he.Neighbor
+				out = append(out, &bad)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		t.Fatal("could not build erroring cases")
+	}
+	return out
+}
+
+// TestBatchedMatchesPerCaseOnErrors pins the error path: a group whose
+// collection fails must yield the same per-case outcomes (error set,
+// FCP/MRC skipped) as the oracle.
+func TestBatchedMatchesPerCaseOnErrors(t *testing.T) {
+	w, cases := collectTestCases(t)
+	bad := erroringCases(t, w, cases[:40])
+	mixed := append(append([]*Case(nil), bad...), cases[:40]...)
+	oracle := RunAllPerCase(w, mixed, 1)
+	for _, workers := range []int{1, 4} {
+		outcomesEqual(t, fmt.Sprintf("workers=%d", workers), oracle, RunAllN(w, mixed, workers))
+	}
+	for i := range bad {
+		if oracle[i].Err == nil {
+			t.Fatalf("erroring case %d ran without error", i)
+		}
+	}
+}
+
+// TestTruthCacheCounts is the laziness regression test: the cache
+// builds at most one tree per (scenario, initiator) pair that actually
+// needed grading, never one per case, and a workload where every case
+// errors early builds nothing at all.
+func TestTruthCacheCounts(t *testing.T) {
+	w, cases := collectTestCases(t)
+	outs, tc := runAllN(w, cases, 4)
+
+	distinct := map[truthKey]bool{}
+	graded := 0
+	for _, o := range outs {
+		if o.Truth != nil {
+			distinct[truthKey{sc: o.Case.Scenario, root: o.Case.Initiator}] = true
+			graded++
+		}
+	}
+	builds, requests := tc.builds.Load(), tc.requests.Load()
+	if builds != int64(len(distinct)) {
+		t.Errorf("builds = %d, want one per graded (scenario, initiator) pair = %d", builds, len(distinct))
+	}
+	if builds == 0 {
+		t.Fatal("workload built no truth trees; test is vacuous")
+	}
+	if requests < builds {
+		t.Errorf("requests = %d < builds = %d", requests, builds)
+	}
+	if graded < int(builds) {
+		t.Errorf("graded outcomes %d < builds %d", graded, builds)
+	}
+
+	// Every case erroring early must leave the cache untouched.
+	bad := erroringCases(t, w, cases[:30])
+	badOuts, badTC := runAllN(w, bad, 4)
+	for i, o := range badOuts {
+		if o.Err == nil {
+			t.Fatalf("case %d: expected an error", i)
+		}
+	}
+	if b := badTC.builds.Load(); b != 0 {
+		t.Errorf("erroring workload built %d truth trees, want 0", b)
+	}
+	if r := badTC.requests.Load(); r != 0 {
+		t.Errorf("erroring workload requested %d truth trees, want 0", r)
+	}
+}
+
+// TestGroupCases pins the grouping key and order: first-appearance
+// group order, input order within groups, and one group per distinct
+// (view, initiator, trigger).
+func TestGroupCases(t *testing.T) {
+	w, cases := collectTestCases(t)
+	groups := groupCases(cases)
+	seen := 0
+	keys := map[groupKey]bool{}
+	for gi, g := range groups {
+		if keys[g.key] {
+			t.Fatalf("group %d: duplicate key", gi)
+		}
+		keys[g.key] = true
+		if len(g.cases) == 0 {
+			t.Fatalf("group %d: empty", gi)
+		}
+		prev := -1
+		for _, i := range g.cases {
+			c := cases[i]
+			if c.LV != g.key.lv || c.Initiator != g.key.initiator || c.Trigger != g.key.trigger {
+				t.Fatalf("group %d: case %d does not match key", gi, i)
+			}
+			if i <= prev {
+				t.Fatalf("group %d: member indices out of order", gi)
+			}
+			prev = i
+			seen++
+		}
+	}
+	if seen != len(cases) {
+		t.Fatalf("groups cover %d cases, want %d", seen, len(cases))
+	}
+	if len(groups) >= len(cases) {
+		t.Fatalf("no sharing: %d groups for %d cases (workload should have multi-destination groups)", len(groups), len(cases))
+	}
+	_ = w
+}
+
+// TestRecoveryPathIntoReusesBacking checks the buffer-reuse contract
+// RunAllN's groups rely on: consecutive extractions into one Route
+// reuse its arrays and still match the allocating path.
+func TestRecoveryPathIntoReusesBacking(t *testing.T) {
+	w, cases := collectTestCases(t)
+	var c *Case
+	for _, cand := range cases {
+		if cand.Recoverable {
+			c = cand
+			break
+		}
+	}
+	if c == nil {
+		t.Fatal("no recoverable case")
+	}
+	sess, err := w.RTR.NewSession(c.LV, c.Initiator)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Collect(c.Trigger); err != nil {
+		t.Fatal(err)
+	}
+	var rt core.Route
+	n := w.Topo.G.NumNodes()
+	for d := 0; d < n; d++ {
+		dst := graph.NodeID(d)
+		if dst == c.Initiator {
+			continue
+		}
+		ok := sess.RecoveryPathInto(&rt, dst)
+		want, wantOK := sess.RecoveryPath(dst)
+		if ok != wantOK {
+			t.Fatalf("dst %d: ok=%v, want %v", d, ok, wantOK)
+		}
+		if !ok {
+			continue
+		}
+		if !reflect.DeepEqual(rt.Nodes, want.Nodes) || !reflect.DeepEqual(rt.Links, want.Links) || rt.Cost != want.Cost {
+			t.Fatalf("dst %d: reused-buffer route differs from allocating route", d)
+		}
+	}
+}

@@ -5,7 +5,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/par"
 	"repro/internal/routing"
 	"repro/internal/spt"
 )
@@ -41,11 +40,29 @@ type RTRResult struct {
 	NoLiveNeighbor bool
 }
 
+// truthSource lazily supplies the ground-truth post-failure tree for
+// one case. The runners only invoke it when a delivered packet needs
+// grading, so cases that never deliver (or error out) never pay for a
+// truth tree at all. A source may return nil; the grader then computes
+// the needed cost on the spot into pooled scratch.
+type truthSource func() *spt.Tree
+
+// staticTruth adapts the exported runners' explicit tree parameter
+// (possibly nil) to a truthSource.
+func staticTruth(t *spt.Tree) truthSource { return func() *spt.Tree { return t } }
+
 // RunRTR executes RTR on one case. truth is the shared ground-truth
 // post-failure tree rooted at the case's initiator (nil to compute it
 // on demand); RunAll computes it once per (scenario, initiator) pair
 // and shares it across all three protocol runners.
 func RunRTR(w *World, c *Case, truth *spt.Tree) (RTRResult, error) {
+	return runRTR(w, c, staticTruth(truth))
+}
+
+// runRTR is the per-case RTR runner: it opens a fresh session and runs
+// its own collection. Batched execution instead shares one session per
+// (scenario, initiator, trigger) group and calls finishRTR directly.
+func runRTR(w *World, c *Case, truth truthSource) (RTRResult, error) {
 	var res RTRResult
 	sess, err := w.RTR.NewSession(c.LV, c.Initiator)
 	if err != nil {
@@ -59,20 +76,30 @@ func RunRTR(w *World, c *Case, truth *spt.Tree) (RTRResult, error) {
 	if err != nil {
 		return res, err
 	}
-	res.Phase1 = col.Walk
+	var rt core.Route
+	finishRTR(&res, w, c, sess, col, &rt, truth)
+	return res, nil
+}
 
-	rt, ok := sess.RecoveryPath(c.Dst)
+// finishRTR runs the per-destination tail of RTR — recovery path
+// extraction from the session's single pruned-view SPT, phase-2
+// source-routed forwarding, and grading — on an already-collected
+// session. rt is a reusable route buffer: batched groups pass one
+// Route across all their destinations.
+func finishRTR(res *RTRResult, w *World, c *Case, sess *core.Session, col *core.CollectResult, rt *core.Route, truth truthSource) {
+	res.Phase1 = col.Walk
+	ok := sess.RecoveryPathInto(rt, c.Dst)
 	res.SPCalcs = sess.SPCalcs()
 	if !ok {
 		res.IdentifiedUnreachable = true
-		return res, nil
+		return
 	}
 	res.RouteBytes = 2 * len(rt.Nodes)
-	fwd := sess.ForwardSourceRouted(rt)
+	fwd := sess.ForwardSourceRouted(*rt)
 	res.Phase2 = fwd.Walk
 	if !fwd.Delivered {
 		res.WastedHops = fwd.Walk.Hops()
-		return res, nil
+		return
 	}
 	res.Recovered = true
 	opt, reachable := truthCost(w, c, truth)
@@ -82,7 +109,6 @@ func RunRTR(w *World, c *Case, truth *spt.Tree) (RTRResult, error) {
 	} else if reachable && opt > 0 {
 		res.Stretch = rt.Cost / opt
 	}
-	return res, nil
 }
 
 // costEqual compares path costs with a relative tolerance: two trees
@@ -119,6 +145,10 @@ type FCPResult struct {
 
 // RunFCP executes FCP on one case. See RunRTR for the truth parameter.
 func RunFCP(w *World, c *Case, truth *spt.Tree) (FCPResult, error) {
+	return runFCP(w, c, staticTruth(truth))
+}
+
+func runFCP(w *World, c *Case, truth truthSource) (FCPResult, error) {
 	var res FCPResult
 	r, err := w.FCP.Recover(c.LV, c.Initiator, c.Dst)
 	if err != nil {
@@ -156,6 +186,10 @@ type MRCResult struct {
 
 // RunMRC executes MRC on one case. See RunRTR for the truth parameter.
 func RunMRC(w *World, c *Case, truth *spt.Tree) (MRCResult, error) {
+	return runMRC(w, c, staticTruth(truth))
+}
+
+func runMRC(w *World, c *Case, truth truthSource) (MRCResult, error) {
 	var res MRCResult
 	r, err := w.MRC.Recover(c.LV, c.Initiator, c.Dst, c.NextHop, c.Trigger)
 	if err != nil {
@@ -192,11 +226,11 @@ func walkCost(w *World, walk routing.Walk) float64 {
 
 // truthCost returns the ground-truth post-failure shortest path cost
 // from the case's initiator to its destination, reading it from the
-// shared truth tree when one is supplied. With truth == nil the tree
-// is computed on the spot into pooled workspace scratch.
-func truthCost(w *World, c *Case, truth *spt.Tree) (float64, bool) {
-	if truth != nil {
-		return truth.CostTo(c.Dst)
+// source's shared truth tree when it supplies one. A nil tree makes
+// the cost come from a computation into pooled workspace scratch.
+func truthCost(w *World, c *Case, truth truthSource) (float64, bool) {
+	if t := truth(); t != nil {
+		return t.CostTo(c.Dst)
 	}
 	ws := spt.GetWorkspace()
 	defer ws.Release()
@@ -211,36 +245,19 @@ type Outcome struct {
 	MRC  MRCResult
 	// Truth is the ground-truth post-failure shortest path tree rooted
 	// at the case's initiator, shared by every case of the same
-	// (scenario, initiator) pair and by all three protocol runners.
+	// (scenario, initiator) pair and by all three protocol runners. It
+	// is computed lazily: nil when no runner needed grading (nothing
+	// was delivered, or the case errored). Consumers fall back to a
+	// fresh incremental recompute from the initiator's clean tree.
 	Truth *spt.Tree
 	Err   error
 }
 
 // RunAll executes all protocols on every case, in parallel across
-// CPUs, preserving case order in the result slice.
+// CPUs, preserving case order in the result slice. Execution is
+// batched by (scenario, initiator, trigger) group — see RunAllN.
 func RunAll(w *World, cases []*Case) []Outcome {
 	return RunAllN(w, cases, 0)
-}
-
-// RunAllN is RunAll with an explicit worker count (GOMAXPROCS when
-// workers <= 0); benchmarks use it to measure parallel scaling.
-func RunAllN(w *World, cases []*Case, workers int) []Outcome {
-	out := make([]Outcome, len(cases))
-	truths := newTruthCache(w)
-	par.For(len(cases), workers, func(i int) {
-		c := cases[i]
-		o := Outcome{Case: c, Truth: truths.tree(c)}
-		var err error
-		if o.RTR, err = RunRTR(w, c, o.Truth); err != nil {
-			o.Err = err
-		} else if o.FCP, err = RunFCP(w, c, o.Truth); err != nil {
-			o.Err = err
-		} else if o.MRC, err = RunMRC(w, c, o.Truth); err != nil {
-			o.Err = err
-		}
-		out[i] = o
-	})
-	return out
 }
 
 // BytesAt returns the header recording bytes in flight at time t for a

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/failure"
 	"repro/internal/graph"
@@ -30,10 +31,19 @@ type truthEntry struct {
 // sync.Once, so workers computing different roots proceed in parallel
 // while workers needing the same root wait for exactly one
 // computation.
+//
+// The cache is lazy end to end: newTruthCache allocates only the empty
+// map, and tree() is invoked solely through the runners' truthSource
+// closures — a workload where every case errors early (or nothing is
+// delivered) builds zero trees. requests/builds count tree() calls and
+// actual Dijkstra runs for the cache-hit regression tests.
 type truthCache struct {
 	w  *World
 	mu sync.Mutex
 	m  map[truthKey]*truthEntry
+
+	requests atomic.Int64
+	builds   atomic.Int64
 }
 
 func newTruthCache(w *World) *truthCache {
@@ -43,6 +53,7 @@ func newTruthCache(w *World) *truthCache {
 // tree returns the shared post-failure forward tree rooted at the
 // case's initiator, computing it on first use.
 func (tc *truthCache) tree(c *Case) *spt.Tree {
+	tc.requests.Add(1)
 	k := truthKey{sc: c.Scenario, root: c.Initiator}
 	tc.mu.Lock()
 	e := tc.m[k]
@@ -52,6 +63,7 @@ func (tc *truthCache) tree(c *Case) *spt.Tree {
 	}
 	tc.mu.Unlock()
 	e.once.Do(func() {
+		tc.builds.Add(1)
 		// Warm start: the initiator's clean tree (cached by RTR — every
 		// link-state router maintains it anyway) plus the delete-only
 		// incremental update under the scenario. Bit-identical to a

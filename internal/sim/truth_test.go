@@ -20,19 +20,26 @@ func collectTestCases(t *testing.T) (*World, []*Case) {
 }
 
 // TestTruthTreeMatchesFreshCompute is the cache half of the
-// differential-test contract: the truth tree RunAll shares across
-// protocols must be node-for-node identical (Dist, Parent, ParentLink)
-// to a fresh uncached spt.Compute for every case.
+// differential-test contract: whenever RunAll computed a truth tree it
+// must be node-for-node identical (Dist, Parent, ParentLink) to a
+// fresh uncached spt.Compute. Truth is lazy, so it may be nil — but
+// only on cases where no protocol delivered anything, i.e. nothing
+// needed grading.
 func TestTruthTreeMatchesFreshCompute(t *testing.T) {
 	w, cases := collectTestCases(t)
 	outs := RunAll(w, cases)
+	graded := 0
 	for i, o := range outs {
 		if o.Err != nil {
 			t.Fatalf("case %d: %v", i, o.Err)
 		}
 		if o.Truth == nil {
-			t.Fatalf("case %d: RunAll left Truth nil", i)
+			if o.RTR.Recovered || o.FCP.Delivered || o.MRC.Delivered {
+				t.Fatalf("case %d: Truth nil although a protocol delivered", i)
+			}
+			continue
 		}
+		graded++
 		c := o.Case
 		want := spt.Compute(w.Topo.G, c.Initiator, c.Scenario)
 		if want.Root != o.Truth.Root || want.Kind != o.Truth.Kind {
@@ -47,6 +54,9 @@ func TestTruthTreeMatchesFreshCompute(t *testing.T) {
 					want.Dist[v], want.Parent[v], want.ParentLink[v])
 			}
 		}
+	}
+	if graded == 0 {
+		t.Fatal("no case exercised the truth cache")
 	}
 }
 

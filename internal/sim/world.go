@@ -46,7 +46,9 @@ func NewWorld(asName string, seed int64, opts ...core.Option) (*World, error) {
 // NewWorldFrom builds a World for an existing topology. The converged
 // routing tables are built first so MRC can warm-start its k*n
 // configuration trees from the clean reverse trees instead of running
-// a cold Dijkstra per (configuration, destination) pair.
+// a cold Dijkstra per (configuration, destination) pair. FCP shares
+// RTR's per-node clean-tree cache, turning its per-iteration
+// recomputations into delete-only incremental updates.
 func NewWorldFrom(topo *topology.Topology, opts ...core.Option) (*World, error) {
 	ci := topology.BuildCrossIndex(topo)
 	tables := routing.ComputeTables(topo)
@@ -54,12 +56,15 @@ func NewWorldFrom(topo *topology.Topology, opts ...core.Option) (*World, error) 
 	if err != nil {
 		return nil, fmt.Errorf("sim: building MRC for %s: %w", topo.Name, err)
 	}
+	r := core.New(topo, ci, opts...)
+	f := fcp.New(topo)
+	f.UseCleanTrees(r.CleanTree)
 	return &World{
 		Topo:   topo,
 		CI:     ci,
 		Tables: tables,
-		RTR:    core.New(topo, ci, opts...),
-		FCP:    fcp.New(topo),
+		RTR:    r,
+		FCP:    f,
 		MRC:    m,
 	}, nil
 }

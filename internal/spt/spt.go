@@ -71,12 +71,21 @@ func (t *Tree) NextHop(v graph.NodeID) (graph.NodeID, bool) {
 // root and v: root→v for Forward trees, v→root for Reverse trees.
 // It reports false when v is unreachable.
 func (t *Tree) PathNodes(v graph.NodeID) ([]graph.NodeID, bool) {
+	return t.AppendPathNodes(nil, v)
+}
+
+// AppendPathNodes appends the node sequence of the shortest path
+// between the root and v to buf (oriented like PathNodes) and returns
+// the extended slice, letting callers reuse one backing array across
+// extractions. It reports false, with buf unchanged, when v is
+// unreachable.
+func (t *Tree) AppendPathNodes(buf []graph.NodeID, v graph.NodeID) ([]graph.NodeID, bool) {
 	if math.IsInf(t.Dist[v], 1) {
-		return nil, false
+		return buf, false
 	}
-	var chain []graph.NodeID
+	start := len(buf)
 	for u := v; ; {
-		chain = append(chain, u)
+		buf = append(buf, u)
 		p := t.Parent[u]
 		if p == None {
 			break
@@ -84,26 +93,34 @@ func (t *Tree) PathNodes(v graph.NodeID) ([]graph.NodeID, bool) {
 		u = graph.NodeID(p)
 	}
 	if t.Kind == Forward {
-		reverse(chain)
+		reverse(buf[start:])
 	}
-	return chain, true
+	return buf, true
 }
 
 // PathLinks returns the link sequence of the shortest path between the
 // root and v, oriented like PathNodes. It reports false when v is
 // unreachable.
 func (t *Tree) PathLinks(v graph.NodeID) ([]graph.LinkID, bool) {
+	return t.AppendPathLinks(nil, v)
+}
+
+// AppendPathLinks appends the link sequence of the shortest path
+// between the root and v to buf, oriented like PathNodes, and returns
+// the extended slice. It reports false, with buf unchanged, when v is
+// unreachable.
+func (t *Tree) AppendPathLinks(buf []graph.LinkID, v graph.NodeID) ([]graph.LinkID, bool) {
 	if math.IsInf(t.Dist[v], 1) {
-		return nil, false
+		return buf, false
 	}
-	var chain []graph.LinkID
+	start := len(buf)
 	for u := v; t.Parent[u] != None; u = graph.NodeID(t.Parent[u]) {
-		chain = append(chain, graph.LinkID(t.ParentLink[u]))
+		buf = append(buf, graph.LinkID(t.ParentLink[u]))
 	}
 	if t.Kind == Forward {
-		reverseLinks(chain)
+		reverseLinks(buf[start:])
 	}
-	return chain, true
+	return buf, true
 }
 
 // Hops returns the number of links on the shortest path between the
