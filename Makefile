@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-diff sweep-smoke fuzz-smoke clean
+.PHONY: check vet build test race bench-smoke bench bench-diff sweep-smoke check-invariants fuzz-smoke clean
 
 ## check: the full pre-merge gate — vet, build, race-enabled tests, a
-## one-iteration pass over every benchmark so bench code can't rot, and
-## an interrupt/resume sweep that must reproduce the uninterrupted run
-## byte for byte.
-check: vet build race bench-smoke sweep-smoke
+## one-iteration pass over every benchmark so bench code can't rot, an
+## interrupt/resume sweep that must reproduce the uninterrupted run
+## byte for byte, and an invariant-checked sweep.
+check: vet build race bench-smoke sweep-smoke check-invariants
 
 vet:
 	$(GO) vet ./...
@@ -54,6 +54,14 @@ sweep-smoke:
 	$(GO) run ./cmd/rtrsim $(SWEEP_ARGS) -workers 4 -state .sweep-smoke/st -resume > .sweep-smoke/resumed.txt
 	cmp .sweep-smoke/full.txt .sweep-smoke/resumed.txt
 	rm -rf .sweep-smoke
+
+## check-invariants: the sweep-smoke workload with the invariant
+## oracle attached (-check) under the race detector — every generated
+## case must satisfy every paper-level invariant, and the loss model's
+## packet accounting must conserve. Fails fast with a repro string.
+CHECK_ARGS = -exp table3,loss -as AS1239 -cases 40 -block 15 -loss-scenarios 5 -seed 1
+check-invariants:
+	$(GO) run -race ./cmd/rtrsim $(CHECK_ARGS) -check > /dev/null
 
 ## fuzz-smoke: a short native-fuzzing pass over the wire decoder and
 ## the topology parser (CI runs this; use go test -fuzz directly for

@@ -22,6 +22,14 @@
 //	rtrsim -exp all -state run1 -resume   # continue after interrupt
 //	rtrsim -exp table3 -workers 16        # shard-level parallelism
 //
+// Pass -check to run the invariant oracle (internal/invariant) on
+// every sweep case and on the loss experiment's packet accounting:
+// the run fails fast on the first paper-level invariant violation,
+// printing a minimized repro string (topology, case triple, failure
+// areas). Checking changes no results; it only validates them:
+//
+//	rtrsim -exp table3 -as AS1239 -cases 200 -check
+//
 // Profiling and performance tracking:
 //
 //	rtrsim -exp table3 -cpuprofile cpu.out  # pprof CPU profile
@@ -48,6 +56,7 @@ import (
 	"repro/internal/failure"
 	"repro/internal/graph"
 	"repro/internal/igp"
+	"repro/internal/invariant"
 	"repro/internal/mrc"
 	"repro/internal/netsim"
 	"repro/internal/perf"
@@ -76,6 +85,7 @@ func main() {
 		blockSize  = flag.Int("block", sweep.DefaultBlockCases, "test cases per sweep shard (checkpoint granularity)")
 		stateDir   = flag.String("state", "", "checkpoint directory (results.jsonl + manifest.json) for resumable sweeps")
 		resume     = flag.Bool("resume", false, "skip shards already recorded in -state and merge their results")
+		check      = flag.Bool("check", false, "run the invariant oracle on every sweep case and loss result; fail fast with a repro string")
 		maxShards  = flag.Int("max-shards", 0, "stop after executing N shards, exit 2 (exercises the interrupt path deterministically)")
 	)
 	flag.Parse()
@@ -186,7 +196,7 @@ func main() {
 	var datasets []*sim.Dataset
 	var fig11Series map[string][]sim.Fig11Point
 	if needData || has("fig11") {
-		spec := sweep.Spec{BaseSeed: *seed, Topologies: names, BlockCases: *blockSize}
+		spec := sweep.Spec{BaseSeed: *seed, Topologies: names, BlockCases: *blockSize, Check: *check}
 		if needData {
 			spec.Recoverable, spec.Irrecoverable = *cases, *cases
 		}
@@ -273,7 +283,7 @@ func main() {
 		printTable4(datasets)
 	}
 	if has("loss") {
-		printLoss(worlds, *lossScen, seedpkg.Derive(*seed, "loss"))
+		printLoss(worlds, *lossScen, seedpkg.Derive(*seed, "loss"), *check)
 	}
 	if has("ablation") {
 		printAblation(names, *seed, *cases)
@@ -491,7 +501,7 @@ func printNetsim(worlds []*sim.World, seed int64) {
 	fmt.Println()
 }
 
-func printLoss(worlds []*sim.World, scenarios int, seed int64) {
+func printLoss(worlds []*sim.World, scenarios int, seed int64, check bool) {
 	fmt.Println("Convergence packet loss — RTR vs no recovery (classic IGP timers)")
 	fmt.Printf("%-10s %14s %12s %14s %14s %8s\n",
 		"Topology", "convergence", "failedPaths", "dropNoRec(M)", "dropRTR(M)", "saved")
@@ -502,6 +512,12 @@ func printLoss(worlds []*sim.World, scenarios int, seed int64) {
 			Seed:             seed,
 			Timers:           igp.ClassicTimers(),
 		})
+		if check {
+			if vs := invariant.CheckLoss(res); len(vs) > 0 {
+				fmt.Fprintf(os.Stderr, "rtrsim: %v\n", vs[0])
+				os.Exit(1)
+			}
+		}
 		fmt.Printf("%-10s %14v %12d %14.2f %14.2f %7.1f%%\n",
 			res.AS, res.MeanConvergence.Round(time.Millisecond), res.FailedPaths,
 			res.DroppedNoRecovery/1e6, res.DroppedWithRTR/1e6, res.SavedPercent)

@@ -63,11 +63,17 @@ func (c *CollectResult) Duration() int64 {
 // Collect runs phase 1 from the session's initiator. trigger is the
 // initiator's link toward the unreachable default next hop that
 // invoked RTR (the sweeping line of the first-hop selection). The
-// result is cached: repeated calls return the first walk, because the
-// first phase "needs to run only once at a recovery initiator and can
-// benefit all destinations".
+// result is cached: repeated calls with the same trigger return the
+// first walk, because the first phase "needs to run only once at a
+// recovery initiator and can benefit all destinations". A different
+// trigger is rejected with ErrTriggerMismatch — the cached walk is
+// trigger-specific, and a session serves one (initiator, trigger) pair.
 func (s *Session) Collect(trigger graph.LinkID) (*CollectResult, error) {
 	if s.collected != nil {
+		if trigger != s.trigger {
+			return nil, fmt.Errorf("%w: collected with %v, asked for %v",
+				ErrTriggerMismatch, s.r.topo.G.Link(s.trigger), s.r.topo.G.Link(trigger))
+		}
 		return s.collected, nil
 	}
 	res, err := s.r.collect(s.lv, s.initiator, trigger, true)
@@ -75,6 +81,7 @@ func (s *Session) Collect(trigger graph.LinkID) (*CollectResult, error) {
 		return nil, err
 	}
 	s.collected = res
+	s.trigger = trigger
 	s.pruned = nil
 	s.tree = nil
 	return res, nil

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/routing"
+	"repro/internal/topology"
+)
+
+// TestCollectTriggerMismatch is the regression test for the cached-walk
+// bug: a session that already collected must refuse a different
+// trigger instead of silently handing back a walk that never happened.
+func TestCollectTriggerMismatch(t *testing.T) {
+	topo, _, _, sess, trigger := paperWorld(t)
+	first, err := sess.Collect(trigger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := sess.Collect(trigger)
+	if err != nil || same != first {
+		t.Fatalf("same trigger must return the cached walk: %p vs %p, err %v", same, first, err)
+	}
+	other := topology.PaperLink(topo, 6, 7)
+	if other == trigger {
+		t.Fatal("fixture links collapsed")
+	}
+	if _, err := sess.Collect(other); !errors.Is(err, ErrTriggerMismatch) {
+		t.Fatalf("different trigger returned %v, want ErrTriggerMismatch", err)
+	}
+	// The rejection must not disturb the cached state.
+	again, err := sess.Collect(trigger)
+	if err != nil || again != first {
+		t.Fatalf("cache disturbed after mismatch: %p vs %p, err %v", again, first, err)
+	}
+}
+
+// TestReturnToInitiatorStopsAtLatestPass pins the truncation retrace on
+// a walk that passed the initiator mid-way: the retrace must mirror
+// only the records after the LATEST departure from the initiator, not
+// rewind through the earlier out-and-back.
+func TestReturnToInitiatorStopsAtLatestPass(t *testing.T) {
+	topo := topology.PaperExample()
+	r := New(topo, nil)
+	ini := topology.PaperNode(6)
+	a, b, c := topology.PaperNode(5), topology.PaperNode(7), topology.PaperNode(8)
+	l1 := topology.PaperLink(topo, 6, 5)
+	l2 := topology.PaperLink(topo, 6, 7)
+	l3 := topology.PaperLink(topo, 7, 8)
+
+	res := &CollectResult{}
+	res.Header.RecInit = ini
+	forward := []routing.HopRecord{
+		{From: ini, To: a, Link: l1}, // early out...
+		{From: a, To: ini, Link: l1}, // ...and back through home
+		{From: ini, To: b, Link: l2}, // latest departure
+		{From: b, To: c, Link: l3},
+	}
+	for _, rec := range forward {
+		res.Walk.Append(rec)
+		res.FieldSizes = append(res.FieldSizes, FieldSizes{})
+	}
+
+	r.returnToInitiator(res, c)
+	if !res.Truncated {
+		t.Fatal("returnToInitiator must mark the walk truncated")
+	}
+	want := append(forward,
+		routing.HopRecord{From: c, To: b, Link: l3},
+		routing.HopRecord{From: b, To: ini, Link: l2},
+	)
+	got := res.Walk.Records
+	if len(got) != len(want) {
+		t.Fatalf("retrace appended %d hops, want %d (must stop at the latest initiator pass): %v",
+			len(got)-len(forward), len(want)-len(forward), got)
+	}
+	for i := range want {
+		if g := got[i]; g.From != want[i].From || g.To != want[i].To || g.Link != want[i].Link {
+			t.Errorf("record %d = %d-%d over %d, want %d-%d over %d",
+				i, g.From, g.To, g.Link, want[i].From, want[i].To, want[i].Link)
+		}
+	}
+	if len(res.FieldSizes) != len(got) {
+		t.Errorf("FieldSizes has %d entries for %d hops", len(res.FieldSizes), len(got))
+	}
+}
+
+// TestReturnToInitiatorAtHome: truncation while already at the
+// initiator appends nothing but still marks the walk truncated.
+func TestReturnToInitiatorAtHome(t *testing.T) {
+	topo := topology.PaperExample()
+	r := New(topo, nil)
+	ini := topology.PaperNode(6)
+	a := topology.PaperNode(5)
+	l1 := topology.PaperLink(topo, 6, 5)
+
+	res := &CollectResult{}
+	res.Header.RecInit = ini
+	res.Walk.Append(routing.HopRecord{From: ini, To: a, Link: l1})
+	res.Walk.Append(routing.HopRecord{From: a, To: ini, Link: l1})
+	res.FieldSizes = []FieldSizes{{}, {}}
+
+	r.returnToInitiator(res, ini)
+	if !res.Truncated {
+		t.Fatal("must be marked truncated")
+	}
+	if res.Walk.Hops() != 2 {
+		t.Fatalf("retrace from home appended hops: %v", res.Walk.Records)
+	}
+}
+
+// TestWindingEnclosedThreshold pins the enclosure decision at the
+// 1.5pi boundary and the accumulation/degeneracy behavior of add.
+func TestWindingEnclosedThreshold(t *testing.T) {
+	mk := func(sum float64) *winding {
+		return &winding{probes: []geom.Point{{}}, sums: []float64{sum}}
+	}
+	cases := []struct {
+		sum  float64
+		want bool
+	}{
+		{0, false},
+		{1.5*math.Pi - 1e-9, false}, // just under: not enclosed
+		{1.5 * math.Pi, true},       // exactly at threshold: enclosed
+		{2 * math.Pi, true},
+		{-1.5 * math.Pi, true}, // clockwise winding counts too
+		{-1.4 * math.Pi, false},
+	}
+	for _, c := range cases {
+		if got := mk(c.sum).enclosed(); got != c.want {
+			t.Errorf("enclosed(sum=%g) = %v, want %v", c.sum, got, c.want)
+		}
+	}
+
+	// add accumulates the signed subtended angle: a quarter turn CCW
+	// around the probe adds +pi/2.
+	w := &winding{probes: []geom.Point{{X: 0, Y: 0}}, sums: []float64{0}}
+	w.add(geom.Point{X: 1, Y: 0}, geom.Point{X: 0, Y: 1})
+	if math.Abs(w.sums[0]-math.Pi/2) > 1e-12 {
+		t.Errorf("quarter turn accumulated %g, want pi/2", w.sums[0])
+	}
+	// A hop touching the probe point contributes nothing (no panic, no NaN).
+	w.add(geom.Point{X: 0, Y: 0}, geom.Point{X: 1, Y: 0})
+	if math.Abs(w.sums[0]-math.Pi/2) > 1e-12 {
+		t.Errorf("probe-touching hop changed the sum to %g", w.sums[0])
+	}
+	// Enclosure requires only ONE probe to be wound around.
+	multi := &winding{probes: []geom.Point{{}, {}}, sums: []float64{0.1, 2 * math.Pi}}
+	if !multi.enclosed() {
+		t.Error("one wound probe must suffice")
+	}
+}
+
+// TestPickFreshEscapeCounting pins the escape accounting: skipping i
+// already-walked candidates before the first fresh one adds i escapes;
+// a fully-walked candidate list returns the sweep's first choice with
+// fresh=false and no escape charge.
+func TestPickFreshEscapeCounting(t *testing.T) {
+	hes := []graph.Halfedge{
+		{Link: 1, Neighbor: 10},
+		{Link: 2, Neighbor: 11},
+		{Link: 3, Neighbor: 12},
+	}
+	seen := map[dirEdge]bool{
+		{link: 1, to: 10}: true,
+		{link: 2, to: 11}: true,
+	}
+	res := &CollectResult{}
+	he, fresh := pickFresh(hes, seen, res)
+	if !fresh || he.Link != 3 {
+		t.Fatalf("pickFresh = (%+v, %v), want fresh link 3", he, fresh)
+	}
+	if res.Escapes != 2 {
+		t.Fatalf("Escapes = %d, want 2 (skipped two walked candidates)", res.Escapes)
+	}
+	// First candidate fresh: no escapes added.
+	res2 := &CollectResult{}
+	he, fresh = pickFresh(hes, map[dirEdge]bool{}, res2)
+	if !fresh || he.Link != 1 || res2.Escapes != 0 {
+		t.Fatalf("unconstrained pick = (%+v, %v, escapes %d), want first candidate and 0", he, fresh, res2.Escapes)
+	}
+	// Everything walked: sweep's first choice, not fresh, no charge.
+	seen[dirEdge{link: 3, to: 12}] = true
+	he, fresh = pickFresh(hes, seen, res)
+	if fresh || he.Link != 1 {
+		t.Fatalf("exhausted pick = (%+v, %v), want stale first candidate", he, fresh)
+	}
+	if res.Escapes != 2 {
+		t.Fatalf("exhausted pick charged escapes: %d", res.Escapes)
+	}
+}

@@ -113,6 +113,12 @@ var (
 	// ErrNotUnreachable is returned when the trigger link's far end is
 	// in fact reachable — RTR is only invoked for failed next hops.
 	ErrNotUnreachable = errors.New("core: trigger next hop is reachable")
+	// ErrTriggerMismatch is returned when Collect is called with a
+	// different trigger link than the session's first collection. The
+	// cached walk is specific to the trigger (it seeds the sweep), so
+	// silently returning it for another trigger would hand the caller a
+	// walk that never happened; sessions are per-(initiator, trigger).
+	ErrTriggerMismatch = errors.New("core: session already collected with a different trigger link")
 )
 
 // Session is one recovery initiator's RTR state for one failure event:
@@ -129,6 +135,7 @@ type Session struct {
 	initiator graph.NodeID
 
 	collected *CollectResult
+	trigger   graph.LinkID   // the link Collect first ran with (valid iff collected != nil)
 	seeded    []graph.LinkID // failures carried in by the packet (multi-area)
 
 	pruned  *graph.Mask // initiator's view: collected + own + seeded failures

@@ -1,0 +1,123 @@
+package invariant
+
+import (
+	"repro/internal/fcp"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// checkFCPCase runs the FCP baseline on the case and checks its
+// carried-failure contract: the trajectory is contiguous over live
+// links, never traverses a link it (eventually) carries as failed,
+// every carried failure was really observed by a visited router, the
+// final source route is loop-free, a delivery cannot beat the true
+// post-failure shortest path, and a drop happens only when the
+// dropping router's pruned view genuinely has no path left.
+func (k *Checker) checkFCPCase(c *sim.Case) []Violation {
+	res, err := k.W.FCP.Recover(c.LV, c.Initiator, c.Dst)
+	if err != nil {
+		// The only runtime error is the defensive recompute bound —
+		// exceeding it means an iteration recorded no new failure, which
+		// the carried-failure invariant forbids.
+		return []Violation{k.violation(c, "fcp/recompute-bound", "%v", err)}
+	}
+	return k.CheckFCP(c, res)
+}
+
+// CheckFCP checks one FCP recovery result against the case. Exported
+// so the mutation tests can tamper with a genuine result and prove
+// each check fires.
+func (k *Checker) CheckFCP(c *sim.Case, res fcp.Result) []Violation {
+	var vs []Violation
+	g := k.W.Topo.G
+	recs := res.Walk.Records
+
+	visited := make(map[graph.NodeID]bool, len(recs)+1)
+	visited[c.Initiator] = true
+	if !res.Delivered {
+		visited[res.DropAt] = true // the dropping router records too
+	}
+	for i, rec := range recs {
+		if g.Link(rec.Link).Other(rec.From) != rec.To {
+			vs = append(vs, k.violation(c, "fcp/walk-contiguous",
+				"hop %d: link %d does not join %d-%d", i, rec.Link, rec.From, rec.To))
+		}
+		from := c.Initiator
+		if i > 0 {
+			from = recs[i-1].To
+		}
+		if rec.From != from {
+			vs = append(vs, k.violation(c, "fcp/walk-contiguous",
+				"hop %d starts at %d, want %d", i, rec.From, from))
+		}
+		if c.LV.NeighborUnreachable(rec.From, rec.Link) {
+			vs = append(vs, k.violation(c, "fcp/walk-dead-link",
+				"hop %d traverses unreachable link %d from %d", i, rec.Link, rec.From))
+		}
+		visited[rec.To] = true
+	}
+
+	carried := newLinkSet(res.Header.FailedLinks)
+	for _, rec := range recs {
+		if carried[rec.Link] {
+			vs = append(vs, k.violation(c, "fcp/walk-failed-link",
+				"trajectory traverses link %d, which the packet carries as failed", rec.Link))
+		}
+	}
+	for _, id := range res.Header.FailedLinks {
+		l := g.Link(id)
+		ok := (visited[l.A] && c.LV.NeighborUnreachable(l.A, id)) ||
+			(visited[l.B] && c.LV.NeighborUnreachable(l.B, id))
+		if !ok {
+			vs = append(vs, k.violation(c, "fcp/failed-not-observed",
+				"carried failed link %d (%v) was never observed unreachable by a visited router", id, l))
+		}
+	}
+
+	// The final source route must be loop-free (each recomputation is a
+	// shortest path; the overall trajectory may legitimately revisit
+	// nodes across recomputations, the route within one must not).
+	seen := make(map[graph.NodeID]bool, len(res.Header.SourceRoute))
+	for _, v := range res.Header.SourceRoute {
+		if seen[v] {
+			vs = append(vs, k.violation(c, "fcp/route-loop",
+				"final source route revisits node %d", v))
+			break
+		}
+		seen[v] = true
+	}
+
+	if res.Delivered {
+		if len(recs) == 0 || recs[len(recs)-1].To != c.Dst {
+			vs = append(vs, k.violation(c, "fcp/delivery-wrong-dst",
+				"delivered, but the trajectory does not end at destination %d", c.Dst))
+			return vs
+		}
+		truth := oracleDists(g, c.Initiator, c.Scenario)
+		if truth[c.Dst] == inf {
+			vs = append(vs, k.violation(c, "truth/delivered-irrecoverable",
+				"delivered, but ground truth has no post-failure path"))
+			return vs
+		}
+		cost := 0.0
+		for _, rec := range recs {
+			cost += g.Link(rec.Link).CostFrom(rec.From)
+		}
+		if cost < truth[c.Dst] && !costEqual(cost, truth[c.Dst]) {
+			vs = append(vs, k.violation(c, "truth/delivery-beats-shortest",
+				"delivered over cost %g, below the true post-failure shortest %g", cost, truth[c.Dst]))
+		}
+		return vs
+	}
+
+	// Drop completeness: FCP drops only when the dropping router's
+	// pruned view (pre-failure graph minus every carried failure) has no
+	// path. Carried failures are all real, so this also proves the
+	// destination is truly unreachable from the dropping router.
+	dist := oracleDists(g, res.DropAt, carried)
+	if dist[c.Dst] < inf {
+		vs = append(vs, k.violation(c, "fcp/drop-premature",
+			"dropped at %d, but its pruned view still has a path of cost %g", res.DropAt, dist[c.Dst]))
+	}
+	return vs
+}

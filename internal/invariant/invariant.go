@@ -1,0 +1,154 @@
+// Package invariant is a pluggable oracle layer that checks
+// paper-level invariants on live simulator outputs: the guarantees the
+// paper states (Theorem 1 walk termination, Theorem 2 recovery-path
+// optimality, Constraints 1/2 non-crossing) and the ones the baselines
+// lean on (FCP and MRC loop-freeness and configuration validity),
+// plus packet-accounting conservation in the loss model.
+//
+// The existing differential tests only compare our fast paths against
+// our slow paths; this package compares both against independent
+// oracles — most checks re-derive the expected answer with a
+// deliberately separate O(n²) Dijkstra (no code shared with
+// internal/spt) and with direct replays of the paper's admissibility
+// rules. It is wired in at three layers: package/property tests (every
+// bundled topology × random failure circles, plus fuzzing), the
+// opt-in `-check` flag of cmd/rtrsim and sweep.Spec.Check (fail fast
+// with a minimized repro string), and the CI checked-sweep smoke.
+// DESIGN.md §9 maps every check to its paper anchor and documents the
+// amendments under which it is intentionally relaxed.
+package invariant
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// Violation is one observed breach of a paper-level invariant.
+type Violation struct {
+	// Check is the stable identifier of the violated invariant,
+	// e.g. "rtr/route-suboptimal" (see DESIGN.md §9 for the list).
+	Check string
+	// Repro is a minimized reproduction string: topology, failure
+	// areas, and the case triple, enough to rebuild and rerun the
+	// exact case that failed.
+	Repro string
+	// Detail explains the breach with the offending values.
+	Detail string
+}
+
+// Error implements error, so a Violation can fail a sweep fast.
+func (v Violation) Error() string {
+	return fmt.Sprintf("invariant %s: %s [%s]", v.Check, v.Detail, v.Repro)
+}
+
+// Repro builds the minimized reproduction string for one case: the
+// topology name (synthesis is seed-deterministic), the failure areas,
+// and the paper's case triple (initiator, destination, failure area)
+// plus the trigger link.
+func Repro(topoName string, c *sim.Case) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "topo=%s init=%d dst=%d nh=%d trigger=%d areas=",
+		topoName, c.Initiator, c.Dst, c.NextHop, c.Trigger)
+	for i, a := range c.Scenario.Areas() {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "(%g,%g,r%g)", a.Center.X, a.Center.Y, a.Radius)
+	}
+	return b.String()
+}
+
+// Checker checks simulator outputs for one world. It is stateless
+// beyond the world reference and safe for concurrent use.
+type Checker struct {
+	W *sim.World
+}
+
+// New returns a Checker for w.
+func New(w *sim.World) *Checker { return &Checker{W: w} }
+
+func (k *Checker) violation(c *sim.Case, check, format string, args ...any) Violation {
+	return Violation{
+		Check:  check,
+		Repro:  Repro(k.W.Topo.Name, c),
+		Detail: fmt.Sprintf(format, args...),
+	}
+}
+
+// CheckCase re-runs all three protocols on one case deterministically
+// (fresh RTR session, fresh FCP and MRC recoveries — all protocol code
+// is deterministic given the case) and checks every applicable
+// invariant. It returns all violations found, nil when clean.
+func (k *Checker) CheckCase(c *sim.Case) []Violation {
+	var vs []Violation
+	vs = append(vs, k.checkRTRCase(c)...)
+	vs = append(vs, k.checkFCPCase(c)...)
+	vs = append(vs, k.checkMRCCase(c)...)
+	return vs
+}
+
+// CheckCases runs CheckCase over every case and returns the first
+// violation as an error — the fail-fast form the sweep engine and the
+// -check flag use. Nil when every case is clean.
+func (k *Checker) CheckCases(cases []*sim.Case) error {
+	for _, c := range cases {
+		if vs := k.CheckCase(c); len(vs) > 0 {
+			return vs[0]
+		}
+	}
+	return nil
+}
+
+// CheckLoss verifies the loss model's packet-accounting conservation:
+// in both columns (no recovery, with RTR), offered packets must equal
+// delivered plus dropped, and the saved percentage must follow from
+// the two drop totals.
+func CheckLoss(res sim.LossResult) []Violation {
+	var vs []Violation
+	bad := func(check, format string, args ...any) {
+		vs = append(vs, Violation{
+			Check:  check,
+			Repro:  fmt.Sprintf("topo=%s scenarios=%d", res.AS, res.Scenarios),
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+	if !conserves(res.Offered, res.DeliveredNoRecovery, res.DroppedNoRecovery) {
+		bad("loss/conservation-norec", "offered %.3f != delivered %.3f + dropped %.3f",
+			res.Offered, res.DeliveredNoRecovery, res.DroppedNoRecovery)
+	}
+	if !conserves(res.Offered, res.DeliveredWithRTR, res.DroppedWithRTR) {
+		bad("loss/conservation-rtr", "offered %.3f != delivered %.3f + dropped %.3f",
+			res.Offered, res.DeliveredWithRTR, res.DroppedWithRTR)
+	}
+	if res.DroppedNoRecovery > 0 {
+		want := 100 * (1 - res.DroppedWithRTR/res.DroppedNoRecovery)
+		if !costEqual(res.SavedPercent, want) {
+			bad("loss/saved-percent", "saved %.6f%%, drop totals imply %.6f%%", res.SavedPercent, want)
+		}
+	}
+	return vs
+}
+
+func conserves(offered, delivered, dropped float64) bool {
+	return costEqual(offered, delivered+dropped)
+}
+
+// costEqual compares accumulated float totals with a relative
+// tolerance (mirrors the harness's grading tolerance: equal-cost sums
+// can differ in summation order).
+func costEqual(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	scale := a
+	if b > scale {
+		scale = b
+	}
+	if scale < 0 {
+		scale = -scale
+	}
+	return d <= 1e-9*(1+scale)
+}

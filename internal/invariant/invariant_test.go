@@ -1,0 +1,141 @@
+package invariant
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+// worldCache shares one World per topology across the whole test
+// binary — world construction (MRC's k*n trees in particular) is the
+// expensive part, the checks themselves are cheap.
+var (
+	worldMu    sync.Mutex
+	worldCache = map[string]*sim.World{}
+)
+
+func worldFor(t testing.TB, name string) *sim.World {
+	worldMu.Lock()
+	defer worldMu.Unlock()
+	if w, ok := worldCache[name]; ok {
+		return w
+	}
+	w, err := sim.NewWorld(name, 1)
+	if err != nil {
+		t.Fatalf("NewWorld(%s): %v", name, err)
+	}
+	worldCache[name] = w
+	return w
+}
+
+// TestCheckCaseAllTopologies is the property harness: every bundled
+// Table II topology, random failure circles, every deduplicated case —
+// recoverable and irrecoverable — must pass every invariant.
+func TestCheckCaseAllTopologies(t *testing.T) {
+	scenarios := 6
+	maxCases := 400
+	if testing.Short() {
+		scenarios, maxCases = 2, 100
+	}
+	for _, name := range topology.ASNames() {
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w := worldFor(t, name)
+			k := New(w)
+			rng := rand.New(rand.NewSource(7))
+			checked := 0
+			for s := 0; s < scenarios && checked < maxCases; s++ {
+				sc := failure.RandomScenario(w.Topo, rng)
+				rec, irr := sim.CasesFromScenario(w, sc)
+				for _, c := range append(rec, irr...) {
+					if checked >= maxCases {
+						break
+					}
+					checked++
+					if vs := k.CheckCase(c); len(vs) > 0 {
+						t.Fatalf("%v (first of %d violations)", vs[0], len(vs))
+					}
+				}
+			}
+			if checked == 0 {
+				t.Fatal("no cases generated")
+			}
+			t.Logf("%d cases clean", checked)
+		})
+	}
+}
+
+// TestCheckLossConservation runs the real loss experiment and checks
+// packet accounting conserves, then proves each loss check fires on a
+// perturbed result.
+func TestCheckLossConservation(t *testing.T) {
+	w := worldFor(t, "AS1239")
+	cfg := sim.DefaultLossConfig()
+	cfg.Scenarios = 5
+	res := sim.PacketLoss(w, cfg)
+	if res.Offered <= 0 {
+		t.Fatalf("loss experiment offered no traffic: %+v", res)
+	}
+	if vs := CheckLoss(res); len(vs) > 0 {
+		t.Fatalf("real loss result violates conservation: %v", vs[0])
+	}
+
+	perturb := []struct {
+		check  string
+		mutate func(r *sim.LossResult)
+	}{
+		{"loss/conservation-norec", func(r *sim.LossResult) { r.DroppedNoRecovery += 123 }},
+		{"loss/conservation-rtr", func(r *sim.LossResult) { r.DeliveredWithRTR += 123 }},
+		{"loss/saved-percent", func(r *sim.LossResult) { r.SavedPercent += 1 }},
+	}
+	for _, p := range perturb {
+		mut := res
+		p.mutate(&mut)
+		if !hasCheck(CheckLoss(mut), p.check) {
+			t.Errorf("perturbation did not fire %s: got %v", p.check, CheckLoss(mut))
+		}
+	}
+}
+
+func hasCheck(vs []Violation, id string) bool {
+	for _, v := range vs {
+		if v.Check == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestViolationError pins the repro string format the sweep surfaces on
+// failure: it must name the topology, the case triple, and the areas.
+func TestViolationError(t *testing.T) {
+	w := worldFor(t, "AS1239")
+	k := New(w)
+	rng := rand.New(rand.NewSource(3))
+	sc := failure.RandomScenario(w.Topo, rng)
+	rec, irr := sim.CasesFromScenario(w, sc)
+	cases := append(rec, irr...)
+	if len(cases) == 0 {
+		t.Skip("scenario produced no cases")
+	}
+	v := k.violation(cases[0], "test/check", "detail %d", 42)
+	got := v.Error()
+	for _, want := range []string{"invariant test/check", "detail 42", "topo=AS1239", "init=", "areas="} {
+		if !contains(got, want) {
+			t.Errorf("violation error %q missing %q", got, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

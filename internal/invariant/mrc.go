@@ -1,0 +1,143 @@
+package invariant
+
+import (
+	"repro/internal/graph"
+	"repro/internal/mrc"
+	"repro/internal/sim"
+)
+
+// checkMRCCase runs the MRC baseline on the case and checks
+// configuration validity: the packet switched to the configuration the
+// scheme prescribes for the suspected element, the route is valid in
+// that configuration (no isolated-node transit, no isolated link —
+// both endpoints isolated — anywhere, restricted links only at the
+// very ends), honors the exclude contract (never leaves over the
+// trigger link), and stays loop-free and truth-consistent.
+func (k *Checker) checkMRCCase(c *sim.Case) []Violation {
+	res, err := k.W.MRC.Recover(c.LV, c.Initiator, c.Dst, c.NextHop, c.Trigger)
+	if err != nil {
+		return []Violation{k.violation(c, "mrc/recover-failed", "%v", err)}
+	}
+	return k.CheckMRC(c, res)
+}
+
+// CheckMRC checks one MRC recovery result against the case. Exported
+// so the mutation tests can tamper with a genuine result and prove
+// each check fires.
+func (k *Checker) CheckMRC(c *sim.Case, res mrc.Result) []Violation {
+	var vs []Violation
+	g := k.W.Topo.G
+
+	// Standard MRC configuration selection: isolate the suspected
+	// element — the next-hop node, or the initiator itself when the
+	// failed link is the last hop.
+	want := k.W.MRC.ConfigOf(c.NextHop)
+	if c.NextHop == c.Dst {
+		want = k.W.MRC.ConfigOf(c.Initiator)
+	}
+	if res.Config != want {
+		vs = append(vs, k.violation(c, "mrc/config-selection",
+			"recovered in configuration %d, the suspected element is isolated in %d", res.Config, want))
+	}
+	if want == mrc.Unisolated {
+		if res.Delivered || res.Walk.Hops() > 0 {
+			vs = append(vs, k.violation(c, "mrc/unprotected-forwarded",
+				"suspected element is unprotected (articulation point), yet the packet was forwarded"))
+		}
+		return vs
+	}
+
+	recs := res.Walk.Records
+	cfg := res.Config
+	seen := make(map[graph.NodeID]bool, len(recs)+1)
+	seen[c.Initiator] = true
+	for i, rec := range recs {
+		if g.Link(rec.Link).Other(rec.From) != rec.To {
+			vs = append(vs, k.violation(c, "mrc/walk-contiguous",
+				"hop %d: link %d does not join %d-%d", i, rec.Link, rec.From, rec.To))
+		}
+		from := c.Initiator
+		if i > 0 {
+			from = recs[i-1].To
+		}
+		if rec.From != from {
+			vs = append(vs, k.violation(c, "mrc/walk-contiguous",
+				"hop %d starts at %d, want %d", i, rec.From, from))
+		}
+		if c.LV.NeighborUnreachable(rec.From, rec.Link) {
+			vs = append(vs, k.violation(c, "mrc/walk-dead-link",
+				"hop %d traverses unreachable link %d from %d", i, rec.Link, rec.From))
+		}
+		if i == 0 && rec.Link == c.Trigger {
+			vs = append(vs, k.violation(c, "mrc/exclude-violated",
+				"first hop reuses the trigger link %d the initiator just saw fail", rec.Link))
+		}
+		if seen[rec.To] {
+			vs = append(vs, k.violation(c, "mrc/walk-loop", "route revisits node %d", rec.To))
+		}
+		seen[rec.To] = true
+
+		// Configuration validity per link: a link with both endpoints
+		// isolated in cfg is an isolated link and carries no traffic in
+		// cfg, destination or not; a link with one isolated endpoint is
+		// restricted — usable only to reach that endpoint as the packet's
+		// destination, or to leave it when it is the isolated initiator
+		// on the very first hop.
+		l := g.Link(rec.Link)
+		aIso := k.W.MRC.ConfigOf(l.A) == cfg
+		bIso := k.W.MRC.ConfigOf(l.B) == cfg
+		switch {
+		case aIso && bIso:
+			vs = append(vs, k.violation(c, "mrc/isolated-link",
+				"hop %d traverses link %d between two nodes isolated in configuration %d", i, rec.Link, cfg))
+		case aIso || bIso:
+			iso := l.A
+			if bIso {
+				iso = l.B
+			}
+			if !(iso == c.Dst || (i == 0 && iso == c.Initiator)) {
+				vs = append(vs, k.violation(c, "mrc/restricted-misuse",
+					"hop %d uses restricted link %d of node %d, which is neither the destination nor the isolated initiator leaving home",
+					i, rec.Link, iso))
+			}
+		}
+		// No isolated-node transit: interior nodes must be backbone
+		// nodes of cfg.
+		if rec.To != c.Dst && k.W.MRC.ConfigOf(rec.To) == cfg {
+			vs = append(vs, k.violation(c, "mrc/isolated-transit",
+				"hop %d transits node %d, isolated in configuration %d", i, rec.To, cfg))
+		}
+	}
+
+	if res.Delivered {
+		if len(recs) == 0 || recs[len(recs)-1].To != c.Dst {
+			vs = append(vs, k.violation(c, "mrc/delivery-wrong-dst",
+				"delivered, but the trajectory does not end at destination %d", c.Dst))
+			return vs
+		}
+		truth := oracleDists(g, c.Initiator, c.Scenario)
+		if truth[c.Dst] == inf {
+			vs = append(vs, k.violation(c, "truth/delivered-irrecoverable",
+				"delivered, but ground truth has no post-failure path"))
+			return vs
+		}
+		cost := 0.0
+		for _, rec := range recs {
+			cost += g.Link(rec.Link).CostFrom(rec.From)
+		}
+		if cost < truth[c.Dst] && !costEqual(cost, truth[c.Dst]) {
+			vs = append(vs, k.violation(c, "truth/delivery-beats-shortest",
+				"delivered over cost %g, below the true post-failure shortest %g", cost, truth[c.Dst]))
+		}
+		return vs
+	}
+	wantDrop := c.Initiator
+	if len(recs) > 0 {
+		wantDrop = recs[len(recs)-1].To
+	}
+	if res.DropAt != wantDrop {
+		vs = append(vs, k.violation(c, "mrc/drop-site",
+			"drop reported at %d, trajectory stops at %d", res.DropAt, wantDrop))
+	}
+	return vs
+}

@@ -1,0 +1,73 @@
+package invariant
+
+import (
+	"math"
+
+	"repro/internal/graph"
+)
+
+// inf is the oracle's unreachable distance.
+var inf = math.Inf(1)
+
+// oracleDists computes forward shortest-path distances from root over
+// g minus the denied elements. It is a deliberately independent
+// oracle: a heapless O(n²) Dijkstra sharing no code with internal/spt
+// (no workspace pooling, no canonical tie-break, no dense fast path),
+// so agreement with the engine is evidence, not tautology. Edge
+// relaxation pays the directional cost away from the settled node,
+// matching forward-tree semantics.
+func oracleDists(g *graph.Graph, root graph.NodeID, down graph.Denied) []float64 {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = inf
+	}
+	if down.NodeDown(root) {
+		return dist
+	}
+	dist[root] = 0
+	done := make([]bool, n)
+	for {
+		u := -1
+		best := inf
+		for v := 0; v < n; v++ {
+			if !done[v] && dist[v] < best {
+				best, u = dist[v], v
+			}
+		}
+		if u < 0 {
+			return dist
+		}
+		done[u] = true
+		if down.NodeDown(graph.NodeID(u)) {
+			continue
+		}
+		for _, he := range g.Adj(graph.NodeID(u)) {
+			if down.LinkDown(he.Link) || down.NodeDown(he.Neighbor) {
+				continue
+			}
+			if d := dist[u] + he.Cost; d < dist[he.Neighbor] {
+				dist[he.Neighbor] = d
+			}
+		}
+	}
+}
+
+// linkSet is a Denied view failing exactly a set of links — the shape
+// of RTR's pruned view (the initiator cannot tell failed nodes from
+// failed links, so phase 2 prunes links only) and of FCP's carried
+// failure set.
+type linkSet map[graph.LinkID]bool
+
+func (s linkSet) NodeDown(graph.NodeID) bool    { return false }
+func (s linkSet) LinkDown(id graph.LinkID) bool { return s[id] }
+
+func newLinkSet(lists ...[]graph.LinkID) linkSet {
+	s := make(linkSet)
+	for _, l := range lists {
+		for _, id := range l {
+			s[id] = true
+		}
+	}
+	return s
+}

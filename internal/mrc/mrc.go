@@ -263,7 +263,7 @@ func (m *MRC) Route(c int, src, dst graph.NodeID, exclude graph.LinkID, haveExcl
 		return []graph.NodeID{src}, nil, true
 	}
 	tree := m.trees[c][dst]
-	if m.isolCfg[src] != c || src == dst {
+	if m.isolCfg[src] != c {
 		nodes, ok := tree.PathNodes(src)
 		if !ok {
 			return nil, nil, false
@@ -282,8 +282,12 @@ func (m *MRC) Route(c int, src, dst graph.NodeID, exclude graph.LinkID, haveExcl
 		if haveExclude && he.Link == exclude {
 			continue
 		}
-		if m.isolCfg[he.Neighbor] == c && he.Neighbor != dst {
-			continue // still isolated; not a way into the backbone
+		if m.isolCfg[he.Neighbor] == c {
+			// Still isolated — even when the neighbor is dst itself: a
+			// link between two nodes isolated in the same configuration
+			// is an isolated link and carries no traffic in c (the tree
+			// already treats it as down; the first hop must too).
+			continue
 		}
 		c2, ok := tree.CostTo(he.Neighbor)
 		if !ok {

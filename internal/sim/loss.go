@@ -48,6 +48,16 @@ type LossResult struct {
 	// (recoverable + irrecoverable) across all scenarios.
 	FailedPaths      int
 	RecoverablePaths int
+	// Offered is the total traffic offered on failed paths over their
+	// convergence windows — the conserved quantity: in each column,
+	// delivered + dropped must equal it exactly.
+	Offered float64
+	// DeliveredNoRecovery is the traffic delivered without recovery
+	// (zero by construction: every failed path drops its whole window).
+	DeliveredNoRecovery float64
+	// DeliveredWithRTR is the traffic RTR delivers: recovered paths
+	// deliver everything after the detection window.
+	DeliveredWithRTR float64
 	// DroppedNoRecovery is the packet loss without any recovery: every
 	// failed path drops its traffic for the whole convergence window.
 	DroppedNoRecovery float64
@@ -95,6 +105,7 @@ func PacketLoss(w *World, cfg LossConfig) LossResult {
 				// weight of 1 per (initiator, destination) case keeps
 				// this experiment cheap and unbiased across schemes.
 				res.FailedPaths++
+				res.Offered += cfg.PacketsPerSecond * window
 				if !recoverable {
 					// Nothing can deliver these packets; both columns
 					// lose the full window.
@@ -109,6 +120,7 @@ func PacketLoss(w *World, cfg LossConfig) LossResult {
 					// RTR holds packets during phase 1 (delayed, not
 					// dropped); only the detection window is lost.
 					res.DroppedWithRTR += cfg.PacketsPerSecond * detect
+					res.DeliveredWithRTR += cfg.PacketsPerSecond * (window - detect)
 				} else {
 					res.DroppedWithRTR += cfg.PacketsPerSecond * window
 				}

@@ -52,8 +52,12 @@ type Manifest struct {
 	Version     int    `json:"version"`
 	Fingerprint string `json:"fingerprint"`
 	TotalShards int    `json:"total_shards"`
-	Completed   int    `json:"completed"`
-	Spec        Spec   `json:"spec"`
+	// Completed is advisory, for humans inspecting a checkpoint: a
+	// crash between the results append and the manifest rewrite leaves
+	// it stale. Resume never trusts it — openCheckpoint recounts the
+	// cleanly parsed results.jsonl lines and repairs the stored value.
+	Completed int  `json:"completed"`
+	Spec      Spec `json:"spec"`
 }
 
 // Fingerprint hashes the spec's canonical JSON; two sweeps merge only
@@ -104,6 +108,11 @@ func openCheckpoint(dir string, spec Spec, total int, resume bool) (*checkpointW
 			if loaded, err = loadResults(filepath.Join(dir, resultsName)); err != nil {
 				return nil, nil, err
 			}
+			// m.Completed is deliberately not consulted: a torn tail or
+			// a crash between the results append and the manifest
+			// rewrite leaves the stored count out of sync with what
+			// actually parses. The recount of cleanly decoded lines is
+			// authoritative; the manifest rewrite below repairs it.
 		}
 	}
 	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND

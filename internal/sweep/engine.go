@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/failure"
+	"repro/internal/invariant"
 	"repro/internal/par"
 	"repro/internal/perf"
 	"repro/internal/sim"
@@ -132,10 +133,22 @@ func (e *Engine) Run(ctx context.Context) (*RunResult, error) {
 
 	var mu sync.Mutex
 	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
 	par.ForContext(runCtx, len(pending), workers, func(i int) {
 		sh := pending[i]
 		start := time.Now()
-		sr := e.runShard(sh)
+		sr, err := e.runShard(sh)
+		if err != nil {
+			fail(fmt.Errorf("shard %s: %w", sh.Key, err))
+			return
+		}
 		elapsed := time.Since(start)
 		sr.ElapsedNs = elapsed.Nanoseconds()
 		if e.Recorder != nil {
@@ -143,12 +156,7 @@ func (e *Engine) Run(ctx context.Context) (*RunResult, error) {
 		}
 		if ckpt != nil {
 			if err := ckpt.append(sr); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
-				cancel()
+				fail(err)
 				return
 			}
 		}
@@ -170,7 +178,10 @@ func (e *Engine) Run(ctx context.Context) (*RunResult, error) {
 // runShard computes one shard from scratch. All randomness comes from
 // the shard's derived seed, so the result is a pure function of
 // (spec, shard identity) — independent of workers, order, process.
-func (e *Engine) runShard(sh Shard) *ShardResult {
+// With Spec.Check set, every generated case additionally passes
+// through the invariant oracle; the first violation aborts the shard
+// (and, via Run's fail-fast, the sweep) with a repro-carrying error.
+func (e *Engine) runShard(sh Shard) (*ShardResult, error) {
 	w := e.Worlds[sh.Topology]
 	rng := rand.New(rand.NewSource(sh.Seed(e.Spec.BaseSeed)))
 	sr := &ShardResult{
@@ -182,6 +193,8 @@ func (e *Engine) runShard(sh Shard) *ShardResult {
 	}
 	switch sh.Kind {
 	case KindFig11:
+		// Fig. 11 shards only count failed paths — no per-case
+		// protocol output exists for Check to validate.
 		for i := 0; i < sh.Areas; i++ {
 			area := failure.RandomArea(rng, sh.Radius, sh.Radius)
 			sc := failure.NewScenario(w.Topo, area)
@@ -191,10 +204,19 @@ func (e *Engine) runShard(sh Shard) *ShardResult {
 		}
 	default:
 		rec, irr := sim.CollectBoth(w, rng, sh.Rec, sh.Irr)
+		if e.Spec.Check {
+			k := invariant.New(w)
+			if err := k.CheckCases(rec); err != nil {
+				return nil, err
+			}
+			if err := k.CheckCases(irr); err != nil {
+				return nil, err
+			}
+		}
 		// Cases run serially inside a shard: the engine owns the
 		// parallelism, and the per-case order defines the record order.
 		sr.Rec = sim.Records(sim.RunAllN(w, rec, 1))
 		sr.Irr = sim.Records(sim.RunAllN(w, irr, 1))
 	}
-	return sr
+	return sr, nil
 }

@@ -71,6 +71,15 @@ type Spec struct {
 	// BlockAreas caps the areas per Fig. 11 shard (DefaultBlockAreas
 	// when 0).
 	BlockAreas int `json:"block_areas,omitempty"`
+
+	// Check runs the invariant oracle (internal/invariant) over every
+	// case a shard generates and fails the whole sweep on the first
+	// violation, carrying a minimized repro string. Only case shards
+	// are checked: Fig. 11 shards count failed paths and produce no
+	// per-case protocol outputs to validate. Check changes no results
+	// and is deliberately excluded from the checkpoint fingerprint —
+	// a checked resume of an unchecked run (and vice versa) is valid.
+	Check bool `json:"-"`
 }
 
 func (s Spec) blockCases() int {

@@ -232,6 +232,64 @@ func TestTornTailTolerated(t *testing.T) {
 	}
 }
 
+// TestResumeIgnoresCorruptManifestCount: the manifest's completed
+// count is advisory — resume recounts the cleanly parsed results.jsonl
+// lines, so a corrupted (or crash-stale) count neither skips shards
+// nor reruns recorded ones, and the merge stays bit-identical. The
+// rewritten manifest carries the repaired count.
+func TestResumeIgnoresCorruptManifestCount(t *testing.T) {
+	worlds := as1239(t)
+	spec := testSpec()
+
+	full, err := (&Engine{Spec: spec, Worlds: worlds, Workers: 2}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := merged(t, full, worlds)
+
+	for _, bogus := range []int{0, 9999} {
+		dir := t.TempDir()
+		first, err := (&Engine{Spec: spec, Worlds: worlds, Workers: 1, Dir: dir, MaxShards: 3}).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first.Executed != 3 {
+			t.Fatalf("interrupted run executed %d shards, want 3", first.Executed)
+		}
+
+		m, err := readManifest(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Completed = bogus
+		data, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, manifestName), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+
+		res, err := (&Engine{Spec: spec, Worlds: worlds, Workers: 4, Dir: dir, Resume: true}).Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Loaded != 3 || res.Executed != len(res.Plan)-3 || !res.Complete() {
+			t.Fatalf("completed=%d: resume loaded=%d executed=%d complete=%v",
+				bogus, res.Loaded, res.Executed, res.Complete())
+		}
+		if got := merged(t, res, worlds); got != want {
+			t.Fatalf("completed=%d: resume after manifest corruption changed the merged output", bogus)
+		}
+		if m, err = readManifest(dir); err != nil {
+			t.Fatal(err)
+		}
+		if m.Completed != len(res.Plan) {
+			t.Fatalf("completed=%d: manifest not repaired, holds %d want %d", bogus, m.Completed, len(res.Plan))
+		}
+	}
+}
+
 // TestResumeRefusesForeignCheckpoint: a checkpoint written for a
 // different workload must be rejected, not silently merged.
 func TestResumeRefusesForeignCheckpoint(t *testing.T) {
@@ -316,5 +374,32 @@ func TestManifestTracksCompletion(t *testing.T) {
 	}
 	if m.Fingerprint != Fingerprint(spec) {
 		t.Error("manifest fingerprint mismatch")
+	}
+}
+
+// TestCheckedSweepMatchesUnchecked: Spec.Check validates, it must not
+// perturb results — the checked run's merged output is bit-identical
+// to the unchecked run's, and Check stays out of the checkpoint
+// fingerprint so checked and unchecked runs share checkpoints.
+func TestCheckedSweepMatchesUnchecked(t *testing.T) {
+	worlds := as1239(t)
+	spec := testSpec()
+	plain, err := (&Engine{Spec: spec, Worlds: worlds, Workers: 2}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := merged(t, plain, worlds)
+
+	checked := spec
+	checked.Check = true
+	res, err := (&Engine{Spec: checked, Worlds: worlds, Workers: 2}).Run(context.Background())
+	if err != nil {
+		t.Fatalf("checked sweep failed an invariant: %v", err)
+	}
+	if got := merged(t, res, worlds); got != want {
+		t.Error("Check changed the sweep output")
+	}
+	if Fingerprint(checked) != Fingerprint(spec) {
+		t.Error("Check leaked into the checkpoint fingerprint")
 	}
 }
