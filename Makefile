@@ -31,15 +31,22 @@ bench:
 	$(GO) test -run xxx -bench . -benchtime 50x -benchmem .
 
 ## bench-diff: regenerate a fresh performance record (world builds plus
-## the convergence and case-runner benches; no dataset sweep) and print
-## per-entry deltas against the latest checked-in BENCH_*.json.
-## Informational by default (BENCH_FAIL_OVER=0 never fails); set
-## BENCH_FAIL_OVER=25 to exit non-zero on any >25% ns/op regression.
+## the convergence, single-pair, and case-runner benches; no dataset
+## sweep) and print per-entry deltas against the latest checked-in
+## BENCH_*.json. Time deltas are informational by default
+## (BENCH_FAIL_OVER=0 never fails on ns/op); set BENCH_FAIL_OVER=25 to
+## exit non-zero on any >25% ns/op regression. Allocation counts on
+## the single-pair-* entries are deterministic (fixed op count over
+## pooled scratch, no timing in the count), so they gate by default:
+## with BENCH_FAIL_ALLOCS=10 the target fails on any >10% allocs/op
+## regression there. Set BENCH_FAIL_ALLOCS=0 to make the whole run
+## informational again.
 BENCH_FAIL_OVER ?= 0
+BENCH_FAIL_ALLOCS ?= 10
 bench-diff:
 	rm -rf .bench-diff && mkdir -p .bench-diff
 	$(GO) run ./cmd/rtrsim -exp table2 -bench-json .bench-diff/new.json > /dev/null
-	-$(GO) run ./cmd/benchdiff -fail-over $(BENCH_FAIL_OVER) .bench-diff/new.json
+	$(GO) run ./cmd/benchdiff -fail-over $(BENCH_FAIL_OVER) -fail-allocs-over $(BENCH_FAIL_ALLOCS) .bench-diff/new.json
 	rm -rf .bench-diff
 
 ## sweep-smoke: end-to-end determinism of the sharded sweep. One

@@ -4,13 +4,22 @@
 // can run it on every build and surface regressions in the log
 // without failing the gate. With -fail-over N (percent, > 0) it exits
 // 1 when any entry's ns/op regressed by more than N percent, turning
-// the same comparison into an opt-in gate.
+// the same comparison into an opt-in gate. With -fail-allocs-over N it
+// exits 1 when any single-pair-* entry's allocs/op regressed by more
+// than N percent: those entries run a fixed op count over pooled
+// scratch, so their allocation counts are deterministic and gate-worthy
+// while the remaining entries' global-malloc deltas stay informational.
+//
+// For the single-pair-<proto>-<engine> entries the diff is followed by
+// a speedup table: per (protocol, topology), the goal-directed engines'
+// ns/op against the full-tree dijkstra baseline from the same record.
 //
 // Usage:
 //
 //	benchdiff new.json            # old = latest checked-in BENCH_*.json
 //	benchdiff -old a.json b.json  # explicit pair
 //	benchdiff -fail-over 25 new.json  # exit 1 on any >25% ns/op regression
+//	benchdiff -fail-allocs-over 5 new.json  # gate single-pair allocs/op
 //
 // When -old is not given, the previous record is the
 // lexicographically last BENCH_*.json in the current directory whose
@@ -25,6 +34,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/perf"
 )
@@ -32,9 +42,10 @@ import (
 func main() {
 	oldPath := flag.String("old", "", "previous record (default: latest checked-in BENCH_*.json)")
 	failOver := flag.Float64("fail-over", 0, "exit 1 if any ns/op regression exceeds this percentage (0 = never fail)")
+	failAllocsOver := flag.Float64("fail-allocs-over", 0, "exit 1 if any single-pair-* entry's allocs/op regression exceeds this percentage (0 = never fail)")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-old prev.json] [-fail-over pct] new.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-old prev.json] [-fail-over pct] [-fail-allocs-over pct] new.json")
 		return
 	}
 	newPath := flag.Arg(0)
@@ -56,9 +67,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 		return
 	}
-	worst := diff(os.Stdout, *oldPath, oldRec, newPath, newRec)
+	worst, worstAllocs := diff(os.Stdout, *oldPath, oldRec, newPath, newRec)
+	singlePairSpeedups(os.Stdout, newRec)
 	if *failOver > 0 && worst > *failOver {
 		fmt.Fprintf(os.Stderr, "benchdiff: worst ns/op regression %+.1f%% exceeds -fail-over %.1f%%\n", worst, *failOver)
+		os.Exit(1)
+	}
+	if *failAllocsOver > 0 && worstAllocs > *failAllocsOver {
+		fmt.Fprintf(os.Stderr, "benchdiff: worst single-pair allocs/op regression %+.1f%% exceeds -fail-allocs-over %.1f%%\n", worstAllocs, *failAllocsOver)
 		os.Exit(1)
 	}
 }
@@ -114,8 +130,10 @@ func fmtAllocs(n int64) string {
 }
 
 // diff prints the per-entry comparison and returns the worst ns/op
-// regression in percent (negative or zero when nothing got slower).
-func diff(w *os.File, oldPath string, oldRec *perf.Record, newPath string, newRec *perf.Record) float64 {
+// regression in percent across all entries plus the worst allocs/op
+// regression across the single-pair-* entries (each negative or zero
+// when nothing got worse).
+func diff(w *os.File, oldPath string, oldRec *perf.Record, newPath string, newRec *perf.Record) (worstNs, worstAllocs float64) {
 	fmt.Fprintf(w, "benchdiff: %s (%s) -> %s (%s)\n", oldPath, oldRec.Date, newPath, newRec.Date)
 	fmt.Fprintf(w, "%-22s %-8s %5s %14s %14s %9s %12s %12s\n",
 		"entry", "topology", "procs", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
@@ -123,7 +141,6 @@ func diff(w *os.File, oldPath string, oldRec *perf.Record, newPath string, newRe
 	for _, e := range oldRec.Entries {
 		oldBy[entryKey{e.Name, e.Topology, e.Procs}] = e
 	}
-	worst := 0.0
 	seen := map[entryKey]bool{}
 	for _, e := range newRec.Entries {
 		k := entryKey{e.Name, e.Topology, e.Procs}
@@ -137,10 +154,15 @@ func diff(w *os.File, oldPath string, oldRec *perf.Record, newPath string, newRe
 		delta := "n/a"
 		if o.NsPerOp > 0 {
 			pct := 100 * float64(e.NsPerOp-o.NsPerOp) / float64(o.NsPerOp)
-			if pct > worst {
-				worst = pct
+			if pct > worstNs {
+				worstNs = pct
 			}
 			delta = fmt.Sprintf("%+.1f%%", pct)
+		}
+		if strings.HasPrefix(e.Name, "single-pair-") && o.AllocsPerOp > 0 {
+			if pct := 100 * float64(e.AllocsPerOp-o.AllocsPerOp) / float64(o.AllocsPerOp); pct > worstAllocs {
+				worstAllocs = pct
+			}
 		}
 		fmt.Fprintf(w, "%-22s %-8s %5d %14d %14d %9s %12s %12s\n",
 			e.Name, e.Topology, e.Procs, o.NsPerOp, e.NsPerOp, delta, fmtAllocs(o.AllocsPerOp), fmtAllocs(e.AllocsPerOp))
@@ -152,5 +174,60 @@ func diff(w *os.File, oldPath string, oldRec *perf.Record, newPath string, newRe
 				e.Name, e.Topology, e.Procs, e.NsPerOp, "-", "gone", fmtAllocs(e.AllocsPerOp), "-")
 		}
 	}
-	return worst
+	return worstNs, worstAllocs
+}
+
+// singlePairSpeedups prints, for every single-pair-<proto>-<engine>
+// group of the new record, the goal-directed engines' speedup over the
+// dijkstra baseline measured in the same record.
+func singlePairSpeedups(w *os.File, rec *perf.Record) {
+	type groupKey struct {
+		proto string
+		topo  string
+		procs int
+	}
+	byGroup := map[groupKey]map[string]int64{}
+	var order []groupKey
+	for _, e := range rec.Entries {
+		rest, ok := strings.CutPrefix(e.Name, "single-pair-")
+		if !ok {
+			continue
+		}
+		proto, engine, ok := strings.Cut(rest, "-")
+		if !ok {
+			continue
+		}
+		k := groupKey{proto, e.Topology, e.Procs}
+		if byGroup[k] == nil {
+			byGroup[k] = map[string]int64{}
+			order = append(order, k)
+		}
+		byGroup[k][engine] = e.NsPerOp
+	}
+	if len(order) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nsingle-pair engine speedups (same record, vs dijkstra)\n")
+	fmt.Fprintf(w, "%-6s %-8s %5s %14s %14s %8s %14s %8s\n",
+		"proto", "topology", "procs", "dijkstra", "astar", "speedup", "alt", "speedup")
+	speed := func(base, ns int64) string {
+		if base <= 0 || ns <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.2fx", float64(base)/float64(ns))
+	}
+	cell := func(ns int64) string {
+		if ns <= 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%d", ns)
+	}
+	for _, k := range order {
+		g := byGroup[k]
+		base := g["dijkstra"]
+		fmt.Fprintf(w, "%-6s %-8s %5d %14s %14s %8s %14s %8s\n",
+			k.proto, k.topo, k.procs, cell(base),
+			cell(g["astar"]), speed(base, g["astar"]),
+			cell(g["alt"]), speed(base, g["alt"]))
+	}
 }

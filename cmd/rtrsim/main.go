@@ -60,10 +60,11 @@ import (
 	"repro/internal/mrc"
 	"repro/internal/netsim"
 	"repro/internal/perf"
-	"repro/internal/routing"
 	"repro/internal/report"
+	"repro/internal/routing"
 	seedpkg "repro/internal/seed"
 	"repro/internal/sim"
+	"repro/internal/spt"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/topology"
@@ -87,10 +88,16 @@ func main() {
 		resume     = flag.Bool("resume", false, "skip shards already recorded in -state and merge their results")
 		check      = flag.Bool("check", false, "run the invariant oracle on every sweep case and loss result; fail fast with a repro string")
 		maxShards  = flag.Int("max-shards", 0, "stop after executing N shards, exit 2 (exercises the interrupt path deterministically)")
+		phase2     = flag.String("phase2", "dijkstra", "phase-2 route engine: dijkstra (full trees), astar (goal-directed, Euclidean heuristic), or alt (goal-directed, landmark heuristic); all engines print identical results")
 	)
 	flag.Parse()
 	if *resume && *stateDir == "" {
 		fmt.Fprintln(os.Stderr, "rtrsim: -resume requires -state")
+		os.Exit(1)
+	}
+	engine, err := spt.ParseEngine(*phase2)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtrsim: %v\n", err)
 		os.Exit(1)
 	}
 
@@ -174,7 +181,7 @@ func main() {
 	worldsByName := map[string]*sim.World{}
 	for _, name := range names {
 		start := time.Now()
-		w, err := sim.NewWorld(name, *seed)
+		w, err := sim.NewWorldPhase2(name, *seed, engine)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rtrsim: %v\n", err)
 			os.Exit(1)
@@ -187,6 +194,7 @@ func main() {
 	}
 	if rec != nil {
 		recordConvergenceBench(rec, worlds, *seed)
+		recordSinglePairBench(rec, names, *seed)
 	}
 
 	// All case datasets and the fig11 radius sweep run as one sharded,
@@ -196,7 +204,7 @@ func main() {
 	var datasets []*sim.Dataset
 	var fig11Series map[string][]sim.Fig11Point
 	if needData || has("fig11") {
-		spec := sweep.Spec{BaseSeed: *seed, Topologies: names, BlockCases: *blockSize, Check: *check}
+		spec := sweep.Spec{BaseSeed: *seed, Topologies: names, BlockCases: *blockSize, Check: *check, Phase2: *phase2}
 		if needData {
 			spec.Recoverable, spec.Irrecoverable = *cases, *cases
 		}
@@ -369,6 +377,56 @@ func recordConvergenceBench(rec *perf.Recorder, worlds []*sim.World, seed int64)
 			rec.Measure("runall-batched", name, procs, func() {
 				sim.RunAllN(w, cases, procs)
 			})
+		}
+	}
+}
+
+// recordSinglePairBench times one frozen single-pair recovery per
+// protocol under every phase-2 engine on the two largest Table II
+// topologies, so BENCH_<date>.json tracks the goal-directed engines'
+// single-pair latency against the full-tree baseline. Each entry runs
+// the same frozen (initiator, destination, failure area) case — the
+// engines are output-identical, so the entries time identical work.
+func recordSinglePairBench(rec *perf.Recorder, names []string, seed int64) {
+	const ops = 50
+	singlePairAS := map[string]bool{"AS7018": true, "AS3549": true}
+	engines := []spt.Engine{spt.EngineDijkstra, spt.EngineAStar, spt.EngineALT}
+	for _, name := range names {
+		if !singlePairAS[name] {
+			continue
+		}
+		for _, eng := range engines {
+			w, err := sim.NewWorldPhase2(name, seed, eng)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rtrsim: bench single-pair %s/%s: %v\n", name, eng, err)
+				continue
+			}
+			p, err := sim.NewSinglePair(w, seedpkg.Derive(seed, "single-pair", name))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rtrsim: bench single-pair %s/%s: %v\n", name, eng, err)
+				continue
+			}
+			protos := []struct {
+				proto string
+				run   func() error
+			}{
+				{"rtr", func() error { _, err := p.RTR(); return err }},
+				{"fcp", func() error { _, err := p.FCP(); return err }},
+				{"mrc", func() error { _, err := p.MRC(); return err }},
+			}
+			for _, pr := range protos {
+				var runErr error
+				rec.Measure("single-pair-"+pr.proto+"-"+eng.String(), name, 1, func() {
+					for i := 0; i < ops; i++ {
+						if err := pr.run(); err != nil && runErr == nil {
+							runErr = err
+						}
+					}
+				})
+				if runErr != nil {
+					fmt.Fprintf(os.Stderr, "rtrsim: bench single-pair %s/%s/%s: %v\n", name, pr.proto, eng, runErr)
+				}
+			}
 		}
 	}
 }

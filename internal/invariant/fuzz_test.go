@@ -18,7 +18,7 @@ import (
 // degenerate dots.
 func FuzzCheckCase(f *testing.F) {
 	f.Add(400.0, 400.0, 200.0, 1500.0, 1500.0, 0.0)
-	f.Add(0.0, 0.0, 300.0, 0.0, 0.0, 0.0)       // border corner
+	f.Add(0.0, 0.0, 300.0, 0.0, 0.0, 0.0)              // border corner
 	f.Add(1000.0, 1000.0, 300.0, 400.0, 1600.0, 250.0) // two areas
 	f.Add(1999.0, 37.0, 100.0, 0.0, 0.0, 0.0)
 	f.Add(700.0, 1200.0, 1.0, 0.0, 0.0, 0.0) // near-degenerate dot

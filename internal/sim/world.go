@@ -13,6 +13,7 @@ import (
 	"repro/internal/fcp"
 	"repro/internal/mrc"
 	"repro/internal/routing"
+	"repro/internal/spt"
 	"repro/internal/topology"
 )
 
@@ -27,11 +28,21 @@ type World struct {
 	RTR    *core.RTR
 	FCP    *fcp.FCP
 	MRC    *mrc.MRC
+	// Phase2 is the route engine every recovery engine above was built
+	// with. All engines produce identical outputs; they differ in the
+	// shape of the work (precomputed trees vs per-query goal-directed
+	// search), which is what the single-pair benchmarks compare.
+	Phase2 spt.Engine
 }
 
 // NewWorld synthesizes the named Table II topology with the given seed
 // and builds all engines on it.
 func NewWorld(asName string, seed int64, opts ...core.Option) (*World, error) {
+	return NewWorldPhase2(asName, seed, spt.EngineDijkstra, opts...)
+}
+
+// NewWorldPhase2 is NewWorld with a phase-2 route engine selector.
+func NewWorldPhase2(asName string, seed int64, e spt.Engine, opts ...core.Option) (*World, error) {
 	p, ok := topology.ParamsFor(asName)
 	if !ok {
 		return nil, fmt.Errorf("sim: unknown topology %q", asName)
@@ -40,25 +51,36 @@ func NewWorld(asName string, seed int64, opts ...core.Option) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewWorldFrom(topo, opts...)
+	return NewWorldFromPhase2(topo, e, opts...)
 }
 
-// NewWorldFrom builds a World for an existing topology. The converged
-// routing tables are built first so MRC can warm-start its k*n
-// configuration trees from the clean reverse trees instead of running
-// a cold Dijkstra per (configuration, destination) pair. FCP shares
-// RTR's per-node clean-tree cache, turning its per-iteration
-// recomputations into delete-only incremental updates.
+// NewWorldFrom builds a World for an existing topology.
 func NewWorldFrom(topo *topology.Topology, opts ...core.Option) (*World, error) {
+	return NewWorldFromPhase2(topo, spt.EngineDijkstra, opts...)
+}
+
+// NewWorldFromPhase2 builds a World for an existing topology under the
+// given phase-2 engine. The converged routing tables are built first,
+// then RTR: its clean-tree cache seeds the ALT landmark vectors (when
+// that engine is selected) and FCP's incremental warm starts, and its
+// heuristic is shared read-only with FCP and MRC so each world carries
+// exactly one heuristic precomputation. Under the default engine MRC
+// warm-starts its k*n configuration trees from the clean reverse
+// tables; under a goal-directed engine that matrix is skipped entirely
+// and MRC routes are answered on demand.
+func NewWorldFromPhase2(topo *topology.Topology, e spt.Engine, opts ...core.Option) (*World, error) {
 	ci := topology.BuildCrossIndex(topo)
 	tables := routing.ComputeTables(topo)
-	m, err := mrc.NewWarm(topo, 0, tables)
+	// Full-slice append: never scribble on a caller-owned opts backing.
+	opts = append(opts[:len(opts):len(opts)], core.WithPhase2(e))
+	r := core.New(topo, ci, opts...)
+	m, err := mrc.NewWarmPhase2(topo, 0, tables, e, r.Heuristic())
 	if err != nil {
 		return nil, fmt.Errorf("sim: building MRC for %s: %w", topo.Name, err)
 	}
-	r := core.New(topo, ci, opts...)
 	f := fcp.New(topo)
 	f.UseCleanTrees(r.CleanTree)
+	f.UsePhase2(e, r.Heuristic())
 	return &World{
 		Topo:   topo,
 		CI:     ci,
@@ -66,5 +88,6 @@ func NewWorldFrom(topo *topology.Topology, opts ...core.Option) (*World, error) 
 		RTR:    r,
 		FCP:    f,
 		MRC:    m,
+		Phase2: e,
 	}, nil
 }

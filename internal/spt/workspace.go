@@ -36,6 +36,10 @@ type Workspace struct {
 	// filled only when the overlay cannot lend its own tables.
 	denseNodes []bool
 	denseLinks []bool
+	// Goal-directed scratch: the settled table of the A* loop (the
+	// heap carries f priorities, so staleness is tracked per node
+	// rather than by distance comparison).
+	settled []bool
 }
 
 var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
@@ -96,15 +100,18 @@ func (ws *Workspace) ensureScratch(n int) {
 // ensureAffected returns the affected-region table, sized for n nodes
 // and cleared.
 func (ws *Workspace) ensureAffected(n int) []bool {
-	if cap(ws.affected) < n {
-		ws.affected = make([]bool, n)
-	} else {
-		ws.affected = ws.affected[:n]
-		for i := range ws.affected {
-			ws.affected[i] = false
-		}
-	}
+	ws.affected = resizeCleared(ws.affected, n)
 	return ws.affected
+}
+
+// ensureSettled returns the goal-search settled table, sized for n
+// nodes and cleared. All bool scratch goes through resizeCleared so
+// every engine sizes (and reuses) pool scratch identically — a
+// workspace alternating between full-tree and goal-directed calls
+// never resize-thrashes.
+func (ws *Workspace) ensureSettled(n int) []bool {
+	ws.settled = resizeCleared(ws.settled, n)
+	return ws.settled
 }
 
 // ensureChildren returns the flattened children lists, sized for n

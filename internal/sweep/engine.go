@@ -14,6 +14,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/perf"
 	"repro/internal/sim"
+	"repro/internal/spt"
 )
 
 // Engine executes a sweep Spec over a worker pool, checkpointing as it
@@ -70,10 +71,19 @@ func (r *RunResult) Complete() bool { return len(r.Results) == len(r.Plan) }
 // and are checkpointed, so every shard is either fully recorded or
 // untouched — the invariant resume depends on.
 func (e *Engine) Run(ctx context.Context) (*RunResult, error) {
+	eng, err := spt.ParseEngine(e.Spec.Phase2)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
 	plan := e.Spec.Shards()
 	for _, sh := range plan {
-		if e.Worlds[sh.Topology] == nil {
+		w := e.Worlds[sh.Topology]
+		if w == nil {
 			return nil, fmt.Errorf("sweep: no world for topology %q", sh.Topology)
+		}
+		if w.Phase2 != eng {
+			return nil, fmt.Errorf("sweep: world %q built with phase-2 engine %s, spec wants %s",
+				sh.Topology, w.Phase2, eng)
 		}
 	}
 	res := &RunResult{
