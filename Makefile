@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-diff sweep-smoke check-invariants fuzz-smoke clean
+.PHONY: check vet build test race bench-smoke bench bench-diff sweep-smoke sweep-smoke-generators check-invariants fuzz-smoke clean
 
 ## check: the full pre-merge gate — vet, build, race-enabled tests, a
 ## one-iteration pass over every benchmark so bench code can't rot, an
 ## interrupt/resume sweep that must reproduce the uninterrupted run
-## byte for byte, and an invariant-checked sweep.
-check: vet build race bench-smoke sweep-smoke check-invariants
+## byte for byte, an invariant-checked sweep, and a checked smoke
+## sweep per alternative failure generator.
+check: vet build race bench-smoke sweep-smoke sweep-smoke-generators check-invariants
 
 vet:
 	$(GO) vet ./...
@@ -62,6 +63,17 @@ sweep-smoke:
 	cmp .sweep-smoke/full.txt .sweep-smoke/resumed.txt
 	rm -rf .sweep-smoke
 
+## sweep-smoke-generators: a small invariant-checked sweep for each
+## alternative failure-generator family (multi-disk, conduit cut,
+## correlated SRLG) — the pluggable models must run the full sharded
+## pipeline end to end under the oracle, with the checking profile
+## derived from the generator.
+GEN_SWEEP_ARGS = -exp table3 -as AS1239 -cases 30 -block 15 -seed 2 -check
+sweep-smoke-generators:
+	$(GO) run ./cmd/rtrsim $(GEN_SWEEP_ARGS) -failure disks:k=2,disjoint > /dev/null
+	$(GO) run ./cmd/rtrsim $(GEN_SWEEP_ARGS) -failure cut:w=150 > /dev/null
+	$(GO) run ./cmd/rtrsim $(GEN_SWEEP_ARGS) -failure srlg:g=9,n=2 > /dev/null
+
 ## check-invariants: the sweep-smoke workload with the invariant
 ## oracle attached (-check) under the race detector — every generated
 ## case must satisfy every paper-level invariant, and the loss model's
@@ -70,13 +82,16 @@ CHECK_ARGS = -exp table3,loss -as AS1239 -cases 40 -block 15 -loss-scenarios 5 -
 check-invariants:
 	$(GO) run -race ./cmd/rtrsim $(CHECK_ARGS) -check > /dev/null
 
-## fuzz-smoke: a short native-fuzzing pass over the wire decoder and
-## the topology parser (CI runs this; use go test -fuzz directly for
+## fuzz-smoke: a short native-fuzzing pass over the wire decoder, the
+## topology parser, the failure-generator spec parser, and the capsule
+## geometry predicates (CI runs this; use go test -fuzz directly for
 ## long sessions).
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzDecodeHeader -fuzztime $(FUZZTIME) ./internal/routing
 	$(GO) test -run xxx -fuzz FuzzRead -fuzztime $(FUZZTIME) ./internal/topology
+	$(GO) test -run xxx -fuzz FuzzGeneratorSpec -fuzztime $(FUZZTIME) ./internal/failure
+	$(GO) test -run xxx -fuzz FuzzCapsuleIntersect -fuzztime $(FUZZTIME) ./internal/geom
 
 clean:
 	rm -f repro.test

@@ -26,9 +26,20 @@
 // every sweep case and on the loss experiment's packet accounting:
 // the run fails fast on the first paper-level invariant violation,
 // printing a minimized repro string (topology, case triple, failure
-// areas). Checking changes no results; it only validates them:
+// instance). Checking changes no results; it only validates them:
 //
 //	rtrsim -exp table3 -as AS1239 -cases 200 -check
+//
+// Pass -failure to draw sweep scenarios from a pluggable failure
+// model instead of the paper's single disk (see internal/failure):
+//
+//	rtrsim -exp table3 -failure disks:k=3,disjoint   # multi-disk
+//	rtrsim -exp fig11 -failure cut:w=200             # conduit cuts
+//	rtrsim -exp table3 -failure srlg:g=16,n=2 -check # correlated SRLGs
+//
+// The spec joins the checkpoint fingerprint, so checkpoints of
+// different failure models never merge; multi-perimeter models relax
+// the single-perimeter invariants accordingly under -check.
 //
 // Profiling and performance tracking:
 //
@@ -89,6 +100,7 @@ func main() {
 		check      = flag.Bool("check", false, "run the invariant oracle on every sweep case and loss result; fail fast with a repro string")
 		maxShards  = flag.Int("max-shards", 0, "stop after executing N shards, exit 2 (exercises the interrupt path deterministically)")
 		phase2     = flag.String("phase2", "dijkstra", "phase-2 route engine: dijkstra (full trees), astar (goal-directed, Euclidean heuristic), or alt (goal-directed, landmark heuristic); all engines print identical results")
+		failSpec   = flag.String("failure", "", "failure-generator spec for sweep cases and fig11 (disk, disks:k=3,disjoint, cut:w=200, srlg:g=16,n=2, cascade, transient, link); empty = the paper's single disk")
 	)
 	flag.Parse()
 	if *resume && *stateDir == "" {
@@ -97,6 +109,11 @@ func main() {
 	}
 	engine, err := spt.ParseEngine(*phase2)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "rtrsim: %v\n", err)
+		os.Exit(1)
+	}
+	// Validate the failure spec fail-fast, before worlds are built.
+	if _, err := failure.ParseSpecOrDefault(*failSpec); err != nil {
 		fmt.Fprintf(os.Stderr, "rtrsim: %v\n", err)
 		os.Exit(1)
 	}
@@ -204,7 +221,7 @@ func main() {
 	var datasets []*sim.Dataset
 	var fig11Series map[string][]sim.Fig11Point
 	if needData || has("fig11") {
-		spec := sweep.Spec{BaseSeed: *seed, Topologies: names, BlockCases: *blockSize, Check: *check, Phase2: *phase2}
+		spec := sweep.Spec{BaseSeed: *seed, Topologies: names, BlockCases: *blockSize, Check: *check, Phase2: *phase2, Failure: *failSpec}
 		if needData {
 			spec.Recoverable, spec.Irrecoverable = *cases, *cases
 		}

@@ -1,15 +1,22 @@
-// Package failure implements the paper's large-scale failure model:
-// one or more continuous failure areas (disks placed in the plane).
-// Routers inside an area fail; links whose segments pass through an
-// area fail even if both endpoints survive. A Scenario is the ground
-// truth of a failure event — only the simulation harness may consult
-// it; protocol code sees failures exclusively through per-node views
-// (see package routing).
+// Package failure implements large-scale failure models: continuous
+// failure areas placed in the plane (the paper's disks, plus capsule
+// "conduit cut" strips), correlated link groups, and scheduled
+// cascading/transient failures. Routers inside an area fail; links
+// whose segments pass through an area fail even if both endpoints
+// survive. A Scenario is the ground truth of a failure event — only
+// the simulation harness may consult it; protocol code sees failures
+// exclusively through per-node views (see package routing).
+//
+// Random scenarios are drawn through the pluggable Generator
+// interface (see generator.go): ParseSpec turns a spec string such as
+// "disk", "disks:k=3,disjoint", or "cut:w=200" into a model, and every
+// registered model is property-tested against the invariant oracle.
 package failure
 
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/geom"
 	"repro/internal/graph"
@@ -23,23 +30,71 @@ const (
 	MaxRadius = 300.0
 )
 
+// Area is a continuous region of the plane that a failure scenario
+// destroys: nodes inside it fail, links crossing it fail. geom.Disk
+// (the paper's model) and geom.Capsule (line/conduit cuts) implement
+// it.
+type Area interface {
+	Contains(geom.Point) bool
+	IntersectsSegment(geom.Segment) bool
+	String() string
+}
+
+var (
+	_ Area = geom.Disk{}
+	_ Area = geom.Capsule{}
+)
+
 // Scenario is the ground truth of a failure event on a topology.
 // It implements graph.Denied.
 type Scenario struct {
 	Topo  *topology.Topology
-	areas []geom.Disk
+	areas []Area
 	mask  *graph.Mask
+	// gen is the generator spec that produced the scenario ("" for
+	// hand-built scenarios); it rides into invariant repro strings.
+	gen string
+	// steps is the optional failure schedule (cascading/transient
+	// models): steps[i] is the ground truth after step i. Static
+	// scenarios leave it nil.
+	steps []*Scenario
 }
 
 var _ graph.DenseTabler = (*Scenario)(nil)
 
-// NewScenario computes the ground truth for the given failure areas on
-// topo: every node inside any area fails, and every link that has a
-// failed endpoint or whose segment intersects any area fails.
+// NewScenario computes the ground truth for the given disk-shaped
+// failure areas on topo: every node inside any area fails, and every
+// link that has a failed endpoint or whose segment intersects any area
+// fails. It is the paper's model; NewScenarioAreas accepts any Area
+// mix.
 func NewScenario(topo *topology.Topology, areas ...geom.Disk) *Scenario {
+	as := make([]Area, len(areas))
+	for i, a := range areas {
+		as[i] = a
+	}
+	return compose(topo, as, nil)
+}
+
+// NewScenarioAreas computes the ground truth for arbitrary failure
+// areas (disks, capsules, or any other Area implementation).
+func NewScenarioAreas(topo *topology.Topology, areas ...Area) *Scenario {
+	return compose(topo, append([]Area(nil), areas...), nil)
+}
+
+// NewLinkSet returns a scenario in which exactly the given links fail
+// (no geometric area, no node failures) — the shape of correlated
+// SRLG failures and single-link flaps.
+func NewLinkSet(topo *topology.Topology, ids ...graph.LinkID) *Scenario {
+	return compose(topo, nil, ids)
+}
+
+// compose builds the ground-truth mask: nodes inside any area fail;
+// a link fails iff an endpoint failed, its segment intersects any
+// area, or it is listed in extra.
+func compose(topo *topology.Topology, areas []Area, extra []graph.LinkID) *Scenario {
 	s := &Scenario{
 		Topo:  topo,
-		areas: append([]geom.Disk(nil), areas...),
+		areas: areas,
 		mask:  graph.NewMask(topo.G),
 	}
 	for v := 0; v < topo.G.NumNodes(); v++ {
@@ -49,6 +104,9 @@ func NewScenario(topo *topology.Topology, areas ...geom.Disk) *Scenario {
 				break
 			}
 		}
+	}
+	for _, id := range extra {
+		s.mask.FailLink(id)
 	}
 	for i := 0; i < topo.G.NumLinks(); i++ {
 		id := graph.LinkID(i)
@@ -80,9 +138,53 @@ func (s *Scenario) LinkDown(id graph.LinkID) bool { return s.mask.LinkDown(id) }
 // post-failure trees.
 func (s *Scenario) DenseTables() (nodes, links []bool) { return s.mask.DenseTables() }
 
-// Areas returns the failure areas.
+// Areas returns the disk-shaped failure areas (the paper's model).
+// Scenarios built from other Area kinds expose them through Shapes.
 func (s *Scenario) Areas() []geom.Disk {
-	return append([]geom.Disk(nil), s.areas...)
+	var out []geom.Disk
+	for _, a := range s.areas {
+		if d, ok := a.(geom.Disk); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Shapes returns every failure area of any kind.
+func (s *Scenario) Shapes() []Area {
+	return append([]Area(nil), s.areas...)
+}
+
+// GenSpec returns the generator spec string that produced the
+// scenario, or "" for hand-built scenarios.
+func (s *Scenario) GenSpec() string { return s.gen }
+
+// Steps returns the number of steps in the scenario's failure
+// schedule; static scenarios have exactly one step (themselves).
+func (s *Scenario) Steps() int {
+	if len(s.steps) == 0 {
+		return 1
+	}
+	return len(s.steps)
+}
+
+// At returns the ground truth after schedule step i (clamped to the
+// schedule bounds). A static scenario returns itself for every i.
+// Cascading models produce monotone schedules (each step's failures
+// contain the previous step's — the delete-only shape incremental
+// recomputation requires); transient models repair, so later steps may
+// shed failures and are only delete-only relative to the clean state.
+func (s *Scenario) At(i int) *Scenario {
+	if len(s.steps) == 0 {
+		return s
+	}
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s.steps) {
+		i = len(s.steps) - 1
+	}
+	return s.steps[i]
 }
 
 // FailedNodes returns the failed nodes in ascending order.
@@ -112,16 +214,18 @@ func (s *Scenario) Unreachable(l graph.Link, v graph.NodeID) bool {
 
 // String implements fmt.Stringer.
 func (s *Scenario) String() string {
-	return fmt.Sprintf("scenario(%s: %d areas, %d nodes down, %d links down)",
-		s.Topo.Name, len(s.areas), s.NumFailedNodes(), s.NumFailedLinks())
+	extra := ""
+	if n := s.Steps(); n > 1 {
+		extra = fmt.Sprintf(", %d steps", n)
+	}
+	return fmt.Sprintf("scenario(%s: %d areas, %d nodes down, %d links down%s)",
+		s.Topo.Name, len(s.areas), s.NumFailedNodes(), s.NumFailedLinks(), extra)
 }
 
 // SingleLink returns a scenario in which exactly the given link fails
 // (no geometric area). It is used by the Theorem 3 experiments.
 func SingleLink(topo *topology.Topology, id graph.LinkID) *Scenario {
-	s := &Scenario{Topo: topo, mask: graph.NewMask(topo.G)}
-	s.mask.FailLink(id)
-	return s
+	return NewLinkSet(topo, id)
 }
 
 // RandomArea draws a failure disk with center uniform in the
@@ -135,7 +239,45 @@ func RandomArea(rng *rand.Rand, minR, maxR float64) geom.Disk {
 }
 
 // RandomScenario draws one random failure area with the paper's
-// default radius bounds and returns its scenario on topo.
+// default radius bounds and returns its scenario on topo. It is the
+// default generator's model ("disk"): the two draw bit-identical
+// scenarios from the same RNG stream.
 func RandomScenario(topo *topology.Topology, rng *rand.Rand) *Scenario {
 	return NewScenario(topo, RandomArea(rng, MinRadius, MaxRadius))
+}
+
+// Desc returns a parseable instance descriptor of the scenario's
+// failure cause: the exact areas ("disk(x,y,r)", "cut(ax,ay,bx,by,r)")
+// and/or explicitly failed links ("links(3,17)"), ';'-joined, or
+// "none". ParseInstance rebuilds an identical scenario from it, which
+// is what makes invariant repro strings actionable for every
+// generator.
+func (s *Scenario) Desc() string {
+	var parts []string
+	for _, a := range s.areas {
+		switch v := a.(type) {
+		case geom.Disk:
+			parts = append(parts, fmt.Sprintf("disk(%g,%g,%g)", v.Center.X, v.Center.Y, v.Radius))
+		case geom.Capsule:
+			parts = append(parts, fmt.Sprintf("cut(%g,%g,%g,%g,%g)",
+				v.Seg.A.X, v.Seg.A.Y, v.Seg.B.X, v.Seg.B.Y, v.Radius))
+		default:
+			parts = append(parts, v.String()) // non-standard area: best effort
+		}
+	}
+	// Link-set scenarios (SRLG groups, single-link flaps) have no
+	// areas; the failed links themselves are the instance.
+	if len(s.areas) == 0 {
+		if down := s.mask.DownLinks(); len(down) > 0 {
+			ids := make([]string, 0, len(down))
+			for _, id := range down {
+				ids = append(ids, fmt.Sprintf("%d", id))
+			}
+			parts = append(parts, "links("+strings.Join(ids, ",")+")")
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, ";")
 }

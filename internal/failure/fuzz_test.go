@@ -1,0 +1,49 @@
+package failure
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzGeneratorSpec hammers the spec parser with arbitrary strings:
+// it must never panic, and every accepted spec must round-trip — the
+// generator's canonical Name() reparses to a generator with the same
+// canonical name (the property checkpoint fingerprints rely on).
+func FuzzGeneratorSpec(f *testing.F) {
+	for _, k := range Kinds() {
+		f.Add(k)
+	}
+	f.Add("disk:rmin=50,rmax=80")
+	f.Add("disks:k=3,disjoint")
+	f.Add("cut:w=200,lmin=100,lmax=400")
+	f.Add("srlg:g=25,n=3")
+	f.Add("cascade:steps=5,rmin=80,rmax=80")
+	f.Add("transient:steps=2")
+	f.Add("disk:rmin=1e99")
+	f.Add("disk:rmin=NaN,rmax=Inf")
+	f.Add("disks:k=-1")
+	f.Add(":::===,,,")
+	f.Fuzz(func(t *testing.T, spec string) {
+		g, err := ParseSpec(spec)
+		if err != nil {
+			if g != nil {
+				t.Fatalf("error with non-nil generator: %v", err)
+			}
+			return
+		}
+		name := g.Name()
+		if name == "" {
+			t.Fatalf("accepted spec %q has empty canonical name", spec)
+		}
+		if strings.ContainsAny(name, " \t\n") {
+			t.Fatalf("canonical name %q contains whitespace", name)
+		}
+		g2, err := ParseSpec(name)
+		if err != nil {
+			t.Fatalf("canonical name %q of accepted spec %q does not reparse: %v", name, spec, err)
+		}
+		if g2.Name() != name {
+			t.Fatalf("canonical name not a fixed point: %q -> %q", name, g2.Name())
+		}
+	})
+}

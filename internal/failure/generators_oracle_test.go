@@ -1,0 +1,183 @@
+// Oracle property suite for the pluggable failure generators. It
+// lives in package failure_test because it drives the invariant
+// oracle, which (via sim) imports failure.
+package failure_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/invariant"
+	"repro/internal/seed"
+	"repro/internal/sim"
+	"repro/internal/topology"
+)
+
+var (
+	worldMu    sync.Mutex
+	worldCache = map[string]*sim.World{}
+)
+
+func worldFor(t testing.TB, name string) *sim.World {
+	worldMu.Lock()
+	defer worldMu.Unlock()
+	if w, ok := worldCache[name]; ok {
+		return w
+	}
+	w, err := sim.NewWorld(name, 1)
+	if err != nil {
+		t.Fatalf("NewWorld(%s): %v", name, err)
+	}
+	worldCache[name] = w
+	return w
+}
+
+// TestGenerators is the tentpole property suite: every registered
+// generator × every bundled Table II topology × seeded RNG streams.
+// For each (generator, topology) pair it checks
+//
+//   - determinism: the same stream reproduces the same schedule of
+//     masks;
+//   - mask/area consistency: failures are exactly what the scenario's
+//     areas (or explicit link sets) imply;
+//   - the full invariant oracle: every deduplicated case of every
+//     scenario passes CheckCase under the generator's derived checking
+//     profile (multi-perimeter models relax only rtr/collect-failed);
+//   - perimeter accounting: disconnected-perimeter cases are
+//     classified and counted, never silently dropped, and
+//     single-region models never produce them.
+func TestGenerators(t *testing.T) {
+	scenarios := 4
+	maxCases := 250
+	names := topology.ASNames()
+	if testing.Short() {
+		scenarios, maxCases = 2, 80
+		names = names[:2]
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w := worldFor(t, name)
+			for _, g := range failure.AllDefaults() {
+				g := g
+				t.Run(g.Name(), func(t *testing.T) {
+					k := invariant.New(w).WithProfile(invariant.ProfileFor(g))
+					var report invariant.PerimeterReport
+					checked := 0
+					for sIdx := 0; sIdx < scenarios && checked < maxCases; sIdx++ {
+						base := seed.Derive(1, "genoracle", name, g.Name()) + int64(sIdx)
+
+						// Determinism across the whole schedule.
+						sc := g.Generate(w.Topo, rand.New(rand.NewSource(base)))
+						again := g.Generate(w.Topo, rand.New(rand.NewSource(base)))
+						if sc.Steps() != again.Steps() {
+							t.Fatalf("scenario %d: schedule lengths differ", sIdx)
+						}
+						for i := 0; i < sc.Steps(); i++ {
+							a, b := sc.At(i), again.At(i)
+							if !equalIDs(a.FailedLinks(), b.FailedLinks()) ||
+								!equalNodes(a.FailedNodes(), b.FailedNodes()) {
+								t.Fatalf("scenario %d step %d: non-deterministic", sIdx, i)
+							}
+							assertConsistent(t, a)
+						}
+
+						// Full oracle sweep over the peak scenario's cases.
+						rec, irr := sim.CasesFromScenario(w, sc)
+						cases := append(rec, irr...)
+						if len(cases) > maxCases-checked {
+							cases = cases[:maxCases-checked]
+						}
+						checked += len(cases)
+						for _, c := range cases {
+							if vs := k.CheckCase(c); len(vs) > 0 {
+								t.Fatalf("scenario %d: %v (first of %d violations)", sIdx, vs[0], len(vs))
+							}
+						}
+						report.Add(k.ClassifyPerimeter(cases))
+					}
+					if k.Profile.SinglePerimeter && report.MultiCluster > 0 {
+						t.Fatalf("single-perimeter model produced %d multi-cluster cases", report.MultiCluster)
+					}
+					if got := report.CollectFailed + report.NoLiveNeighbor + report.AllSeen + report.WalkMissed; got != report.MultiCluster {
+						t.Fatalf("perimeter categories sum to %d, MultiCluster is %d (%s)", got, report.MultiCluster, report)
+					}
+					if report.MultiCluster > 0 {
+						t.Logf("%s/%s: %s", name, g.Name(), report)
+					}
+				})
+			}
+		})
+	}
+}
+
+// assertConsistent re-derives the mask from the scenario's shapes and
+// link sets: nodes fail iff inside an area; links fail iff
+// endpoint-down or area-intersecting, plus (for area-free scenarios)
+// the explicit link set.
+func assertConsistent(t *testing.T, s *failure.Scenario) {
+	t.Helper()
+	topo := s.Topo
+	areas := s.Shapes()
+	for v := 0; v < topo.G.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		in := false
+		for _, a := range areas {
+			if a.Contains(topo.Coords[v]) {
+				in = true
+				break
+			}
+		}
+		if s.NodeDown(id) != in {
+			t.Fatalf("node %d: down=%v, areas imply %v", v, s.NodeDown(id), in)
+		}
+	}
+	for i := 0; i < topo.G.NumLinks(); i++ {
+		id := graph.LinkID(i)
+		l := topo.G.Link(id)
+		geometric := s.NodeDown(l.A) || s.NodeDown(l.B)
+		if !geometric {
+			seg := topo.LinkSegment(id)
+			for _, a := range areas {
+				if a.IntersectsSegment(seg) {
+					geometric = true
+					break
+				}
+			}
+		}
+		if geometric && !s.LinkDown(id) {
+			t.Fatalf("link %v: geometry implies down, mask says up", l)
+		}
+		if s.LinkDown(id) && !geometric && len(areas) > 0 {
+			t.Fatalf("link %v: mask down without geometric cause", l)
+		}
+	}
+}
+
+func equalIDs(a, b []graph.LinkID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalNodes(a, b []graph.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,96 @@
+package failure
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// ParseInstance rebuilds a concrete failure scenario from an instance
+// descriptor as produced by Scenario.Desc(): ';'-joined terms of
+//
+//	disk(x,y,r)           one disk area
+//	cut(ax,ay,bx,by,r)    one capsule area (spine endpoints, radius)
+//	links(3,17,...)       explicitly failed links
+//	none                  no failures
+//
+// The round trip ParseInstance(topo, s.Desc()) yields a scenario with
+// an identical failure mask, which is what makes invariant repro
+// strings actionable for every generator.
+func ParseInstance(topo *topology.Topology, desc string) (*Scenario, error) {
+	desc = strings.TrimSpace(desc)
+	if desc == "" {
+		return nil, fmt.Errorf("failure: empty instance descriptor")
+	}
+	if desc == "none" {
+		return compose(topo, nil, nil), nil
+	}
+	var areas []Area
+	var links []graph.LinkID
+	for _, term := range strings.Split(desc, ";") {
+		kind, args, err := splitTerm(term)
+		if err != nil {
+			return nil, err
+		}
+		switch kind {
+		case "disk":
+			v, err := floatArgs(term, args, 3)
+			if err != nil {
+				return nil, err
+			}
+			areas = append(areas, geom.Disk{Center: geom.Point{X: v[0], Y: v[1]}, Radius: v[2]})
+		case "cut":
+			v, err := floatArgs(term, args, 5)
+			if err != nil {
+				return nil, err
+			}
+			areas = append(areas, geom.Capsule{
+				Seg:    geom.Segment{A: geom.Point{X: v[0], Y: v[1]}, B: geom.Point{X: v[2], Y: v[3]}},
+				Radius: v[4],
+			})
+		case "links":
+			for _, a := range args {
+				n, err := strconv.Atoi(a)
+				if err != nil || n < 0 || n >= topo.G.NumLinks() {
+					return nil, fmt.Errorf("failure: instance term %q: bad link ID %q", term, a)
+				}
+				links = append(links, graph.LinkID(n))
+			}
+		default:
+			return nil, fmt.Errorf("failure: instance term %q: unknown kind %q", term, kind)
+		}
+	}
+	return compose(topo, areas, links), nil
+}
+
+func splitTerm(term string) (kind string, args []string, err error) {
+	t := strings.TrimSpace(term)
+	open := strings.IndexByte(t, '(')
+	if open <= 0 || !strings.HasSuffix(t, ")") {
+		return "", nil, fmt.Errorf("failure: malformed instance term %q", term)
+	}
+	inner := t[open+1 : len(t)-1]
+	if inner == "" {
+		return "", nil, fmt.Errorf("failure: instance term %q has no arguments", term)
+	}
+	return t[:open], strings.Split(inner, ","), nil
+}
+
+func floatArgs(term string, args []string, want int) ([]float64, error) {
+	if len(args) != want {
+		return nil, fmt.Errorf("failure: instance term %q: want %d arguments, got %d", term, want, len(args))
+	}
+	out := make([]float64, want)
+	for i, a := range args {
+		v, err := strconv.ParseFloat(strings.TrimSpace(a), 64)
+		if err != nil {
+			return nil, fmt.Errorf("failure: instance term %q: bad number %q", term, a)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

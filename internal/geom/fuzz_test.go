@@ -1,0 +1,49 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCapsuleIntersect cross-checks the capsule predicates on
+// arbitrary geometry: IntersectsSegment must agree with the
+// closed-form spine distance, containment of either segment endpoint
+// must imply intersection, DistToSegment must be symmetric,
+// non-negative, and never exceed any endpoint-to-segment distance.
+func FuzzCapsuleIntersect(f *testing.F) {
+	f.Add(100.0, 100.0, 300.0, 100.0, 50.0, 200.0, 0.0, 200.0, 300.0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 120.0, 500.0, 500.0, 600.0, 600.0) // degenerate spine
+	f.Add(10.0, 10.0, 10.0, 10.0, 1.0, 10.0, 10.0, 10.0, 10.0)   // everything coincident
+	f.Add(0.0, 0.0, 2000.0, 2000.0, 300.0, 2000.0, 0.0, 0.0, 2000.0)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, r, px, py, qx, qy float64) {
+		for _, v := range []float64{ax, ay, bx, by, r, px, py, qx, qy} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e7 {
+				t.Skip("out of the simulator's coordinate regime")
+			}
+		}
+		if r < 0 {
+			r = -r
+		}
+		c := Capsule{Seg: Segment{Point{ax, ay}, Point{bx, by}}, Radius: r}
+		s := Segment{Point{px, py}, Point{qx, qy}}
+
+		d := c.Seg.DistToSegment(s)
+		if d < 0 {
+			t.Fatalf("negative segment distance %v", d)
+		}
+		if sym := s.DistToSegment(c.Seg); math.Abs(sym-d) > 1e-6*(1+d) {
+			t.Fatalf("asymmetric distance: %v vs %v", d, sym)
+		}
+		for _, p := range []Point{s.A, s.B} {
+			if v := c.Seg.DistToPoint(p); v < d-1e-9 {
+				t.Fatalf("endpoint distance %v below segment distance %v", v, d)
+			}
+		}
+		if got, want := c.IntersectsSegment(s), d < r-Eps; got != want {
+			t.Fatalf("IntersectsSegment=%v but spine distance %v vs radius %v", got, d, r)
+		}
+		if (c.Contains(s.A) || c.Contains(s.B)) && !c.IntersectsSegment(s) {
+			t.Fatalf("capsule contains an endpoint of %v but reports no intersection", s)
+		}
+	})
+}

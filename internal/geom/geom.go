@@ -142,6 +142,34 @@ func (s Segment) Crosses(t Segment) bool {
 	return false
 }
 
+// DistToSegment returns the minimum distance between the two closed
+// segments: zero when they intersect (including shared endpoints and
+// collinear overlap), otherwise the smallest of the four
+// endpoint-to-segment distances — for non-intersecting segments the
+// closest pair of points always involves at least one endpoint.
+func (s Segment) DistToSegment(t Segment) float64 {
+	o1 := orientation(s.A, s.B, t.A)
+	o2 := orientation(s.A, s.B, t.B)
+	o3 := orientation(t.A, t.B, s.A)
+	o4 := orientation(t.A, t.B, s.B)
+	if o1 != o2 && o3 != o4 && o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0 {
+		return 0 // proper interior crossing
+	}
+	// Degenerate contacts (endpoint on the other segment, collinear
+	// overlap) reduce to an endpoint distance of zero below.
+	d := s.DistToPoint(t.A)
+	if v := s.DistToPoint(t.B); v < d {
+		d = v
+	}
+	if v := t.DistToPoint(s.A); v < d {
+		d = v
+	}
+	if v := t.DistToPoint(s.B); v < d {
+		d = v
+	}
+	return d
+}
+
 // DistToPoint returns the minimum distance from point p to the segment.
 func (s Segment) DistToPoint(p Point) float64 {
 	ab := s.B.Sub(s.A)
@@ -188,6 +216,40 @@ func (d Disk) IntersectsSegment(s Segment) bool {
 
 // Area returns the area of the disk.
 func (d Disk) Area() float64 { return math.Pi * d.Radius * d.Radius }
+
+// Capsule is the set of points within Radius of a spine segment — a
+// stadium shape. It models line/conduit cuts: a trench, pipeline, or
+// border strip of width 2*Radius failing everything it touches. The
+// containment and intersection predicates mirror Disk's strict-inside
+// convention (boundary points survive); a Capsule with a degenerate
+// spine (Seg.A == Seg.B) behaves like a Disk away from the boundary.
+type Capsule struct {
+	Seg    Segment
+	Radius float64
+}
+
+// String implements fmt.Stringer.
+func (c Capsule) String() string {
+	return fmt.Sprintf("capsule(%v, r=%.3f)", c.Seg, c.Radius)
+}
+
+// Contains reports whether point p lies strictly inside the capsule.
+func (c Capsule) Contains(p Point) bool {
+	return c.Seg.DistToPoint(p) < c.Radius-Eps
+}
+
+// IntersectsSegment reports whether the segment passes through the
+// capsule's interior (its minimum distance to the spine is below the
+// radius).
+func (c Capsule) IntersectsSegment(s Segment) bool {
+	return c.Seg.DistToSegment(s) < c.Radius-Eps
+}
+
+// Area returns the area of the capsule (rectangle plus two half
+// disks).
+func (c Capsule) Area() float64 {
+	return 2*c.Radius*c.Seg.Length() + math.Pi*c.Radius*c.Radius
+}
 
 // CCWAngle returns the counterclockwise rotation, in radians in the
 // half-open interval (0, 2π], needed to rotate the direction vector

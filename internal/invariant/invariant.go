@@ -44,30 +44,39 @@ func (v Violation) Error() string {
 }
 
 // Repro builds the minimized reproduction string for one case: the
-// topology name (synthesis is seed-deterministic), the failure areas,
-// and the paper's case triple (initiator, destination, failure area)
-// plus the trigger link.
+// topology name (synthesis is seed-deterministic), the failure
+// instance in failure.ParseInstance's grammar (any area kind or link
+// set, not just disks), the generator spec when the scenario came from
+// one, and the paper's case triple (initiator, destination, failure
+// area) plus the trigger link.
 func Repro(topoName string, c *sim.Case) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "topo=%s init=%d dst=%d nh=%d trigger=%d areas=",
-		topoName, c.Initiator, c.Dst, c.NextHop, c.Trigger)
-	for i, a := range c.Scenario.Areas() {
-		if i > 0 {
-			b.WriteByte(';')
-		}
-		fmt.Fprintf(&b, "(%g,%g,r%g)", a.Center.X, a.Center.Y, a.Radius)
+	fmt.Fprintf(&b, "topo=%s init=%d dst=%d nh=%d trigger=%d failure=%s",
+		topoName, c.Initiator, c.Dst, c.NextHop, c.Trigger, c.Scenario.Desc())
+	if spec := c.Scenario.GenSpec(); spec != "" {
+		fmt.Fprintf(&b, " gen=%s", spec)
 	}
 	return b.String()
 }
 
 // Checker checks simulator outputs for one world. It is stateless
-// beyond the world reference and safe for concurrent use.
+// beyond the world reference and profile and safe for concurrent use.
 type Checker struct {
 	W *sim.World
+	// Profile selects which model-dependent invariants apply; New
+	// defaults to the paper's single-disk profile.
+	Profile Profile
 }
 
-// New returns a Checker for w.
-func New(w *sim.World) *Checker { return &Checker{W: w} }
+// New returns a Checker for w with the default (single-perimeter)
+// profile.
+func New(w *sim.World) *Checker { return &Checker{W: w, Profile: DefaultProfile()} }
+
+// WithProfile sets the checking profile and returns the checker.
+func (k *Checker) WithProfile(p Profile) *Checker {
+	k.Profile = p
+	return k
+}
 
 func (k *Checker) violation(c *sim.Case, check, format string, args ...any) Violation {
 	return Violation{

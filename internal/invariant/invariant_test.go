@@ -111,12 +111,14 @@ func hasCheck(vs []Violation, id string) bool {
 }
 
 // TestViolationError pins the repro string format the sweep surfaces on
-// failure: it must name the topology, the case triple, and the areas.
+// failure: it must name the topology, the case triple, and the failure
+// instance in failure.ParseInstance's grammar, so any generator's
+// scenarios minimize to an actionable repro.
 func TestViolationError(t *testing.T) {
 	w := worldFor(t, "AS1239")
 	k := New(w)
 	rng := rand.New(rand.NewSource(3))
-	sc := failure.RandomScenario(w.Topo, rng)
+	sc := failure.Default().Generate(w.Topo, rng)
 	rec, irr := sim.CasesFromScenario(w, sc)
 	cases := append(rec, irr...)
 	if len(cases) == 0 {
@@ -124,10 +126,20 @@ func TestViolationError(t *testing.T) {
 	}
 	v := k.violation(cases[0], "test/check", "detail %d", 42)
 	got := v.Error()
-	for _, want := range []string{"invariant test/check", "detail 42", "topo=AS1239", "init=", "areas="} {
+	for _, want := range []string{"invariant test/check", "detail 42", "topo=AS1239", "init=", "failure=disk(", "gen=disk"} {
 		if !contains(got, want) {
 			t.Errorf("violation error %q missing %q", got, want)
 		}
+	}
+	// The failure= clause must round-trip through ParseInstance.
+	desc := cases[0].Scenario.Desc()
+	re, err := failure.ParseInstance(w.Topo, desc)
+	if err != nil {
+		t.Fatalf("repro descriptor %q does not parse: %v", desc, err)
+	}
+	if re.NumFailedLinks() != cases[0].Scenario.NumFailedLinks() ||
+		re.NumFailedNodes() != cases[0].Scenario.NumFailedNodes() {
+		t.Fatalf("repro descriptor %q rebuilt a different mask", desc)
 	}
 }
 

@@ -1,0 +1,202 @@
+package invariant
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/sim"
+)
+
+// Profile selects which model-dependent invariants a Checker enforces.
+// The oracle checks (route optimality, walk well-formedness, Theorem 2
+// grading, packet conservation) hold for every failure model and are
+// always on; the profile only gates checks that encode an assumption a
+// particular generator may violate.
+type Profile struct {
+	// SinglePerimeter asserts the failure model produces one connected
+	// failure region, the shape RTR's phase-1 perimeter walk was
+	// designed for (the paper's single disk). When set, a collection
+	// failure on a recoverable case is an invariant breach
+	// (rtr/collect-failed); when unset — multi-disk, SRLG, cascade
+	// models — such failures are legitimate model-induced outcomes and
+	// are counted by ClassifyPerimeter instead.
+	SinglePerimeter bool
+}
+
+// DefaultProfile is the paper's model: one disk, one perimeter.
+func DefaultProfile() Profile { return Profile{SinglePerimeter: true} }
+
+// ProfileFor derives the checking profile for a failure generator from
+// its MultiPerimeter declaration; generators that do not declare are
+// checked under the strict single-perimeter profile.
+func ProfileFor(g failure.Generator) Profile {
+	if mp, ok := g.(failure.MultiPerimeter); ok && mp.MultiPerimeter() {
+		return Profile{SinglePerimeter: false}
+	}
+	return DefaultProfile()
+}
+
+// PerimeterReport counts, per classified case, how RTR's
+// single-perimeter assumption interacts with a failure scenario's
+// actual cluster structure. It quantifies — rather than hides — where
+// the phase-1 walk breaks down on disconnected failure regions.
+type PerimeterReport struct {
+	// Cases is the number of cases classified.
+	Cases int
+	// MultiCluster counts cases whose ground-truth failure splits into
+	// more than one failure cluster (see failure.Scenario.Clusters).
+	MultiCluster int
+	// MaxClusters is the largest cluster count seen in any case.
+	MaxClusters int
+	// CollectFailed counts multi-cluster cases where phase-1
+	// collection failed outright (excluding the legitimate
+	// no-live-neighbor outcome).
+	CollectFailed int
+	// NoLiveNeighbor counts multi-cluster cases where the initiator
+	// had no live neighbor at all (fully cut off — legitimate under
+	// any model). MultiCluster = CollectFailed + NoLiveNeighbor +
+	// AllSeen + WalkMissed.
+	NoLiveNeighbor int
+	// AllSeen counts multi-cluster cases where the walk plus the
+	// initiator's own observations still covered every cluster (at
+	// least one pruned link per cluster) — RTR had complete
+	// cluster-level information despite the disconnection.
+	AllSeen int
+	// WalkMissed counts multi-cluster cases where at least one cluster
+	// contributed nothing to the pruned view. It splits exactly into
+	// MissBenign + DropUnseen + DropSeen.
+	WalkMissed int
+	// ClustersMissed is the total number of unseen clusters across all
+	// WalkMissed cases.
+	ClustersMissed int
+	// MissBenign counts WalkMissed cases whose outcome was unaffected:
+	// the packet was delivered anyway, or the destination was
+	// discarded (a discard is always truth-correct — the pruned view
+	// has a superset of the true post-failure edges).
+	MissBenign int
+	// DropUnseen counts WalkMissed cases where the recovery packet was
+	// dropped on a link belonging to a cluster the walk never saw —
+	// the concrete failure mode of the single-perimeter assumption.
+	DropUnseen int
+	// DropSeen counts WalkMissed cases dropped on a link of a cluster
+	// the walk did partially see (incomplete collection within a seen
+	// cluster, aggravated by the disconnection).
+	DropSeen int
+}
+
+// Add accumulates o into r.
+func (r *PerimeterReport) Add(o PerimeterReport) {
+	r.Cases += o.Cases
+	r.MultiCluster += o.MultiCluster
+	if o.MaxClusters > r.MaxClusters {
+		r.MaxClusters = o.MaxClusters
+	}
+	r.CollectFailed += o.CollectFailed
+	r.NoLiveNeighbor += o.NoLiveNeighbor
+	r.AllSeen += o.AllSeen
+	r.WalkMissed += o.WalkMissed
+	r.ClustersMissed += o.ClustersMissed
+	r.MissBenign += o.MissBenign
+	r.DropUnseen += o.DropUnseen
+	r.DropSeen += o.DropSeen
+}
+
+// String implements fmt.Stringer with a one-line summary.
+func (r PerimeterReport) String() string {
+	return fmt.Sprintf(
+		"perimeter: %d cases, %d multi-cluster (max %d clusters): %d collect-failed, %d cut-off, %d all-seen, %d missed (%d clusters unseen: %d benign, %d dropped-on-unseen, %d dropped-on-seen)",
+		r.Cases, r.MultiCluster, r.MaxClusters, r.CollectFailed, r.NoLiveNeighbor, r.AllSeen,
+		r.WalkMissed, r.ClustersMissed, r.MissBenign, r.DropUnseen, r.DropSeen)
+}
+
+// ClassifyPerimeter classifies every case's interaction with RTR's
+// single-perimeter walk assumption. Cases whose scenario has at most
+// one failure cluster satisfy the assumption and only count toward
+// Cases; multi-cluster cases are re-run through RTR and classified by
+// whether the walk covered every cluster and, if not, whether the miss
+// changed the outcome.
+func (k *Checker) ClassifyPerimeter(cases []*sim.Case) PerimeterReport {
+	var r PerimeterReport
+	for _, c := range cases {
+		k.classifyPerimeterCase(c, &r)
+	}
+	return r
+}
+
+func (k *Checker) classifyPerimeterCase(c *sim.Case, r *PerimeterReport) {
+	r.Cases++
+	clusters := c.Scenario.Clusters()
+	if len(clusters) > r.MaxClusters {
+		r.MaxClusters = len(clusters)
+	}
+	if len(clusters) <= 1 {
+		return // single perimeter: the walk's assumption holds
+	}
+	r.MultiCluster++
+
+	sess, err := k.W.RTR.NewSession(c.LV, c.Initiator)
+	if err != nil {
+		r.CollectFailed++
+		return
+	}
+	col, err := sess.Collect(c.Trigger)
+	if err != nil {
+		if errors.Is(err, core.ErrNoLiveNeighbor) {
+			r.NoLiveNeighbor++
+		} else {
+			r.CollectFailed++
+		}
+		return
+	}
+
+	// A cluster is "seen" when at least one of its links made it into
+	// the initiator's pruned view: collected by the walk (Rule 2) or
+	// observed directly by the initiator.
+	pruned := newLinkSet(col.Header.FailedLinks, c.LV.UnreachableLinks(c.Initiator))
+	clusterOf := make(map[graph.LinkID]int)
+	for ci, cl := range clusters {
+		for _, id := range cl {
+			clusterOf[id] = ci
+		}
+	}
+	seen := make([]bool, len(clusters))
+	for id := range pruned {
+		if ci, ok := clusterOf[id]; ok {
+			seen[ci] = true
+		}
+	}
+	missed := 0
+	for _, s := range seen {
+		if !s {
+			missed++
+		}
+	}
+	if missed == 0 {
+		r.AllSeen++
+		return
+	}
+	r.WalkMissed++
+	r.ClustersMissed += missed
+
+	rt, ok := sess.RecoveryPath(c.Dst)
+	if !ok {
+		// Discarding is always truth-correct: the pruned view keeps a
+		// superset of the true post-failure edges, so no pruned-view
+		// path implies no true path.
+		r.MissBenign++
+		return
+	}
+	fwd := sess.ForwardSourceRouted(rt)
+	if fwd.Delivered {
+		r.MissBenign++ // Theorem 2: a delivered recovery path is optimal
+		return
+	}
+	if ci, known := clusterOf[fwd.DropLink]; known && !seen[ci] {
+		r.DropUnseen++
+	} else {
+		r.DropSeen++
+	}
+}

@@ -1,0 +1,102 @@
+package invariant
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/seed"
+	"repro/internal/sim"
+)
+
+// TestProfileFor pins the generator → checking-profile mapping: only
+// single-region models keep the strict single-perimeter profile.
+func TestProfileFor(t *testing.T) {
+	wantSingle := map[string]bool{
+		"disk": true, "cut": true, "link": true,
+		"disks": false, "srlg": false, "cascade": false, "transient": false,
+	}
+	for _, g := range failure.AllDefaults() {
+		p := ProfileFor(g)
+		if p.SinglePerimeter != wantSingle[g.Name()] {
+			t.Errorf("ProfileFor(%s).SinglePerimeter = %v, want %v",
+				g.Name(), p.SinglePerimeter, wantSingle[g.Name()])
+		}
+	}
+	if !DefaultProfile().SinglePerimeter {
+		t.Error("the default profile must be the paper's single-perimeter model")
+	}
+}
+
+// TestClassifyPerimeterSingleDisk: under the paper's model every case
+// has at most one cluster, so the classifier reports nothing.
+func TestClassifyPerimeterSingleDisk(t *testing.T) {
+	w := worldFor(t, "AS1239")
+	k := New(w)
+	var total PerimeterReport
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(seed.Derive(51, "perim-single") + int64(trial)))
+		sc := failure.Default().Generate(w.Topo, rng)
+		rec, irr := sim.CasesFromScenario(w, sc)
+		total.Add(k.ClassifyPerimeter(append(rec, irr...)))
+	}
+	if total.MultiCluster != 0 {
+		t.Errorf("single-disk scenarios produced %d multi-cluster cases", total.MultiCluster)
+	}
+	if total.MaxClusters > 1 {
+		t.Errorf("single-disk MaxClusters = %d", total.MaxClusters)
+	}
+}
+
+// TestClassifyPerimeterMultiDisk: the classifier's categories
+// partition the multi-cluster cases exactly, and disjoint multi-disk
+// scenarios do produce multi-cluster cases to classify.
+func TestClassifyPerimeterMultiDisk(t *testing.T) {
+	w := worldFor(t, "AS1239")
+	k := New(w).WithProfile(Profile{SinglePerimeter: false})
+	g := failure.MultiDiskGen{K: 3, Min: 80, Max: 160, Disjoint: true}
+	var total PerimeterReport
+	for trial := 0; trial < 15; trial++ {
+		rng := rand.New(rand.NewSource(seed.Derive(53, "perim-multi") + int64(trial)))
+		sc := g.Generate(w.Topo, rng)
+		rec, irr := sim.CasesFromScenario(w, sc)
+		r := k.ClassifyPerimeter(append(rec, irr...))
+		if got := r.CollectFailed + r.NoLiveNeighbor + r.AllSeen + r.WalkMissed; got != r.MultiCluster {
+			t.Fatalf("categories sum to %d, MultiCluster is %d (%s)", got, r.MultiCluster, r)
+		}
+		if got := r.MissBenign + r.DropUnseen + r.DropSeen; got != r.WalkMissed {
+			t.Fatalf("miss outcomes sum to %d, WalkMissed is %d (%s)", got, r.WalkMissed, r)
+		}
+		if r.WalkMissed > 0 && r.ClustersMissed < r.WalkMissed {
+			t.Fatalf("%d missed cases but only %d missed clusters", r.WalkMissed, r.ClustersMissed)
+		}
+		total.Add(r)
+	}
+	if total.MultiCluster == 0 {
+		t.Fatal("disjoint three-disk scenarios never produced a multi-cluster case")
+	}
+	if total.String() == "" {
+		t.Fatal("report must stringify")
+	}
+	t.Logf("AS1239 disks:k=3,disjoint: %s", total)
+}
+
+// TestMultiPerimeterProfileGatesCollectFailed: the oracle sweep over a
+// multi-perimeter generator must be clean under its derived profile —
+// collect failures on disconnected perimeters are classified, not
+// reported as invariant breaches.
+func TestMultiPerimeterProfileGatesCollectFailed(t *testing.T) {
+	w := worldFor(t, "AS1239")
+	g := failure.MultiDiskGen{K: 3, Min: 80, Max: 160, Disjoint: true}
+	k := New(w).WithProfile(ProfileFor(g))
+	for trial := 0; trial < 10; trial++ {
+		rng := rand.New(rand.NewSource(seed.Derive(59, "perim-gate") + int64(trial)))
+		sc := g.Generate(w.Topo, rng)
+		rec, irr := sim.CasesFromScenario(w, sc)
+		for _, c := range append(rec, irr...) {
+			for _, v := range k.CheckCase(c) {
+				t.Fatalf("trial %d: %v", trial, v)
+			}
+		}
+	}
+}

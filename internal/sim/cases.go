@@ -99,9 +99,16 @@ const MaxCollectDraws = 100000
 // accumulated, and returns exactly that many — or fewer, if
 // MaxCollectDraws scenarios could not produce enough.
 func CollectCases(w *World, rng *rand.Rand, want int, recoverable bool) []*Case {
+	return CollectCasesG(w, failure.Default(), rng, want, recoverable)
+}
+
+// CollectCasesG is CollectCases under an arbitrary failure generator.
+// For scheduled generators (cascades, transients) the cases are drawn
+// from the peak scenario.
+func CollectCasesG(w *World, g failure.Generator, rng *rand.Rand, want int, recoverable bool) []*Case {
 	var out []*Case
 	for draws := 0; len(out) < want && draws < MaxCollectDraws; draws++ {
-		sc := failure.RandomScenario(w.Topo, rng)
+		sc := g.Generate(w.Topo, rng)
 		rec, irr := CasesFromScenario(w, sc)
 		if recoverable {
 			out = append(out, rec...)
@@ -120,8 +127,13 @@ func CollectCases(w *World, rng *rand.Rand, want int, recoverable bool) []*Case 
 // CollectCases it gives up after MaxCollectDraws scenarios and returns
 // whatever accumulated.
 func CollectBoth(w *World, rng *rand.Rand, wantRec, wantIrr int) (rec, irr []*Case) {
+	return CollectBothG(w, failure.Default(), rng, wantRec, wantIrr)
+}
+
+// CollectBothG is CollectBoth under an arbitrary failure generator.
+func CollectBothG(w *World, g failure.Generator, rng *rand.Rand, wantRec, wantIrr int) (rec, irr []*Case) {
 	for draws := 0; (len(rec) < wantRec || len(irr) < wantIrr) && draws < MaxCollectDraws; draws++ {
-		sc := failure.RandomScenario(w.Topo, rng)
+		sc := g.Generate(w.Topo, rng)
 		r, i := CasesFromScenario(w, sc)
 		if len(rec) < wantRec {
 			rec = append(rec, r...)

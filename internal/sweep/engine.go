@@ -45,6 +45,10 @@ type Engine struct {
 	ProgressEvery time.Duration
 	// Recorder, when set, receives per-shard timings.
 	Recorder *perf.Recorder
+
+	// gen is the parsed Spec.Failure generator, resolved fail-fast at
+	// the top of Run before any shard executes.
+	gen failure.Generator
 }
 
 // RunResult is the outcome of Engine.Run: every known shard result
@@ -75,7 +79,17 @@ func (e *Engine) Run(ctx context.Context) (*RunResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sweep: %w", err)
 	}
+	e.gen, err = failure.ParseSpecOrDefault(e.Spec.Failure)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
 	plan := e.Spec.Shards()
+	if len(e.Spec.Fig11Radii) > 0 && e.Spec.Fig11Areas > 0 {
+		if _, ok := e.gen.(failure.FixedRadius); !ok {
+			return nil, fmt.Errorf("sweep: generator %q cannot pin a radius; Fig. 11 sweeps need a failure.FixedRadius model",
+				e.gen.Name())
+		}
+	}
 	for _, sh := range plan {
 		w := e.Worlds[sh.Topology]
 		if w == nil {
@@ -204,18 +218,25 @@ func (e *Engine) runShard(sh Shard) (*ShardResult, error) {
 	switch sh.Kind {
 	case KindFig11:
 		// Fig. 11 shards only count failed paths — no per-case
-		// protocol output exists for Check to validate.
+		// protocol output exists for Check to validate. The radius
+		// pin goes through the generator (validated as FixedRadius in
+		// Run); the default disk model draws bit-identically to the
+		// legacy RandomArea(rng, r, r) path.
+		pinned := e.gen.(failure.FixedRadius).WithRadius(sh.Radius)
 		for i := 0; i < sh.Areas; i++ {
-			area := failure.RandomArea(rng, sh.Radius, sh.Radius)
-			sc := failure.NewScenario(w.Topo, area)
+			sc := pinned.Generate(w.Topo, rng)
 			f, ir := sim.CountFailedPaths(w, sc)
 			sr.Failed += f
 			sr.Irrecoverable += ir
 		}
 	default:
-		rec, irr := sim.CollectBoth(w, rng, sh.Rec, sh.Irr)
+		rec, irr := sim.CollectBothG(w, e.gen, rng, sh.Rec, sh.Irr)
 		if e.Spec.Check {
-			k := invariant.New(w)
+			// The checking profile follows the generator: invariants
+			// that assume a single connected failure perimeter are
+			// gated off for multi-perimeter models (their breakdown is
+			// classified by invariant.ClassifyPerimeter instead).
+			k := invariant.New(w).WithProfile(invariant.ProfileFor(e.gen))
 			if err := k.CheckCases(rec); err != nil {
 				return nil, err
 			}

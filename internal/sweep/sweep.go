@@ -72,6 +72,17 @@ type Spec struct {
 	// when 0).
 	BlockAreas int `json:"block_areas,omitempty"`
 
+	// Failure is the failure-generator spec (failure.ParseSpec
+	// grammar) every shard draws scenarios from; empty means the
+	// paper's single-disk model, which keeps the fingerprint — and
+	// therefore every existing checkpoint — unchanged. A different
+	// generator produces different scenarios, so the spec is part of
+	// the checkpoint fingerprint (omitempty: only when set). The spec
+	// is validated fail-fast in Engine.Run before any shard runs.
+	// Fig. 11 shards additionally require the generator to support
+	// radius pinning (failure.FixedRadius).
+	Failure string `json:"failure,omitempty"`
+
 	// Check runs the invariant oracle (internal/invariant) over every
 	// case a shard generates and fails the whole sweep on the first
 	// violation, carrying a minimized repro string. Only case shards
