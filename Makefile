@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-diff sweep-smoke sweep-smoke-generators check-invariants fuzz-smoke clean
+.PHONY: check vet build test race bench-smoke bench bench-diff sweep-smoke sweep-smoke-generators check-invariants serve-smoke fuzz-smoke clean
 
 ## check: the full pre-merge gate — vet, build, race-enabled tests, a
 ## one-iteration pass over every benchmark so bench code can't rot, an
 ## interrupt/resume sweep that must reproduce the uninterrupted run
-## byte for byte, an invariant-checked sweep, and a checked smoke
-## sweep per alternative failure generator.
-check: vet build race bench-smoke sweep-smoke sweep-smoke-generators check-invariants
+## byte for byte, an invariant-checked sweep, a checked smoke sweep
+## per alternative failure generator, and a live daemon/load-generator
+## round trip.
+check: vet build race bench-smoke sweep-smoke sweep-smoke-generators check-invariants serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -82,6 +83,22 @@ CHECK_ARGS = -exp table3,loss -as AS1239 -cases 40 -block 15 -loss-scenarios 5 -
 check-invariants:
 	$(GO) run -race ./cmd/rtrsim $(CHECK_ARGS) -check > /dev/null
 
+## serve-smoke: end-to-end daemon round trip. Starts rtrsimd on a
+## loopback port with the invariant oracle attached, fires a short
+## rtrload burst (must see nonzero qps and zero request errors), then
+## interrupts the daemon and requires the sweep-style exit status 2
+## after a clean drain.
+SERVE_ADDR ?= 127.0.0.1:18423
+serve-smoke:
+	rm -rf .serve-smoke && mkdir -p .serve-smoke
+	$(GO) build -o .serve-smoke/rtrsimd ./cmd/rtrsimd
+	$(GO) build -o .serve-smoke/rtrload ./cmd/rtrload
+	.serve-smoke/rtrsimd -addr $(SERVE_ADDR) -as AS1239 -check & pid=$$!; \
+	  .serve-smoke/rtrload -addr $(SERVE_ADDR) -as AS1239 -duration 2s -conns 2 -wait 30s -min-qps 1 -baseline 0 \
+	    || { kill $$pid 2>/dev/null; exit 1; }; \
+	  kill -INT $$pid; wait $$pid; test $$? -eq 2
+	rm -rf .serve-smoke
+
 ## fuzz-smoke: a short native-fuzzing pass over the wire decoder, the
 ## topology parser, the failure-generator spec parser, and the capsule
 ## geometry predicates (CI runs this; use go test -fuzz directly for
@@ -95,4 +112,4 @@ fuzz-smoke:
 
 clean:
 	rm -f repro.test
-	rm -rf .sweep-smoke .bench-diff
+	rm -rf .sweep-smoke .bench-diff .serve-smoke

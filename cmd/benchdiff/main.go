@@ -35,6 +35,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/perf"
 )
@@ -69,6 +70,7 @@ func main() {
 	}
 	worst, worstAllocs := diff(os.Stdout, *oldPath, oldRec, newPath, newRec)
 	singlePairSpeedups(os.Stdout, newRec)
+	servingDeltas(os.Stdout, oldRec, newRec)
 	if *failOver > 0 && worst > *failOver {
 		fmt.Fprintf(os.Stderr, "benchdiff: worst ns/op regression %+.1f%% exceeds -fail-over %.1f%%\n", worst, *failOver)
 		os.Exit(1)
@@ -154,7 +156,10 @@ func diff(w *os.File, oldPath string, oldRec *perf.Record, newPath string, newRe
 		delta := "n/a"
 		if o.NsPerOp > 0 {
 			pct := 100 * float64(e.NsPerOp-o.NsPerOp) / float64(o.NsPerOp)
-			if pct > worstNs {
+			// Serving entries come from wall-clock load runs, not
+			// steady-state benchmarks; their run-to-run noise stays out of
+			// the -fail-over gate (they get their own table below).
+			if pct > worstNs && !strings.HasPrefix(e.Name, "serve-") {
 				worstNs = pct
 			}
 			delta = fmt.Sprintf("%+.1f%%", pct)
@@ -175,6 +180,51 @@ func diff(w *os.File, oldPath string, oldRec *perf.Record, newPath string, newRe
 		}
 	}
 	return worstNs, worstAllocs
+}
+
+// servingDeltas prints the serving-layer comparison for the serve-*
+// entries written by rtrload: throughput and tail-latency deltas plus
+// cache hit rate, informational only — load-run numbers are too noisy
+// for the -fail-over gate (rtrload has its own -min-qps/-min-speedup
+// gates measured within one run).
+func servingDeltas(w *os.File, oldRec, newRec *perf.Record) {
+	oldBy := map[entryKey]perf.Entry{}
+	for _, e := range oldRec.Entries {
+		oldBy[entryKey{e.Name, e.Topology, e.Procs}] = e
+	}
+	var rows []perf.Entry
+	for _, e := range newRec.Entries {
+		if strings.HasPrefix(e.Name, "serve-") {
+			rows = append(rows, e)
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\nserving entries (informational; gated in-run by rtrload)\n")
+	fmt.Fprintf(w, "%-22s %-8s %10s %8s %12s %8s %8s\n",
+		"entry", "topology", "qps", "Δqps", "p99", "Δp99", "hit")
+	pct := func(old, new float64) string {
+		if old <= 0 {
+			return "new"
+		}
+		return fmt.Sprintf("%+.1f%%", 100*(new-old)/old)
+	}
+	for _, e := range rows {
+		o, ok := oldBy[entryKey{e.Name, e.Topology, e.Procs}]
+		dq, dp := "new", "new"
+		if ok {
+			dq = pct(o.CasesPerSec, e.CasesPerSec)
+			dp = pct(float64(o.P99Ns), float64(e.P99Ns))
+		}
+		hit := "-"
+		if e.CacheHitRate > 0 {
+			hit = fmt.Sprintf("%.1f%%", 100*e.CacheHitRate)
+		}
+		fmt.Fprintf(w, "%-22s %-8s %10.1f %8s %12s %8s %8s\n",
+			e.Name, e.Topology, e.CasesPerSec, dq,
+			time.Duration(e.P99Ns).Round(time.Microsecond).String(), dp, hit)
+	}
 }
 
 // singlePairSpeedups prints, for every single-pair-<proto>-<engine>

@@ -1,0 +1,474 @@
+// Command rtrload drives an rtrsimd daemon with a recovery-query
+// workload and reports throughput and HDR-style latency percentiles.
+// It regenerates the daemon's topology locally (same seed, same
+// deterministic synthesis), builds a query mix of real test cases
+// across a configurable number of failure instances, and fires it
+// either closed-loop (each connection sends its next query as soon as
+// the previous answer lands) or open-loop (queries depart on a fixed
+// schedule; latency includes queueing, so a saturated server is
+// visible instead of coordinated away).
+//
+//	rtrload -as AS7018 -duration 5s                 # closed loop, 8 conns
+//	rtrload -mode open -rate 500 -scheme rtr        # open loop at 500 qps
+//	rtrload -bench-json internal/perf               # append serving entries
+//
+// The warm-vs-cold comparison is measured in the same run and
+// transport-free, so it prices the cache and nothing else: -baseline N
+// times N queries of the identical mix through two in-process engines
+// — one with a warm cache, one rebuilding converged state cold (full
+// per-destination Dijkstra, no cache) on every query — and reports the
+// warm-cache speedup as the ratio of the two. The HTTP numbers above
+// them carry the daemon's end-to-end serving qps and tail latency.
+// Exit status: 1 on any request error, qps below -min-qps, or warm
+// speedup below -min-speedup.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/perf"
+	seedpkg "repro/internal/seed"
+	"repro/internal/serve"
+	"repro/internal/sim"
+	"repro/internal/spt"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8723", "rtrsimd address (host:port)")
+		asFlag   = flag.String("as", "AS7018", "topology to load against")
+		seed     = flag.Int64("seed", 1, "synthesis seed; must match the daemon's -seed")
+		scheme   = flag.String("scheme", "all", "query scheme: rtr, fcp, mrc, or all")
+		duration = flag.Duration("duration", 5*time.Second, "load duration")
+		mode     = flag.String("mode", "closed", "closed (latency-bounded) or open (rate-bounded)")
+		conns    = flag.Int("conns", 8, "concurrent connections (open mode: max in-flight)")
+		rate     = flag.Float64("rate", 200, "open-loop departure rate (queries/sec)")
+		failures = flag.Int("failures", 16, "distinct failure instances in the query mix")
+		pairs    = flag.Int("pairs", 8, "queries (cases) per failure instance")
+		wait     = flag.Duration("wait", 30*time.Second, "max time to wait for the daemon's /healthz")
+		minQPS   = flag.Float64("min-qps", 0, "exit 1 when achieved qps is below this")
+		minSpeed = flag.Float64("min-speedup", 0, "exit 1 when warm-engine qps / cold baseline qps is below this (needs -baseline)")
+		baseline = flag.Int("baseline", 64, "queries timed through the in-process warm-vs-cold engine pair; 0 skips")
+		cacheSz  = flag.Int("cache", 64, "warm in-process engine's LRU capacity for the baseline comparison")
+		phase2   = flag.String("phase2", "dijkstra", "phase-2 engine for the in-process baseline")
+		benchOut = flag.String("bench-json", "", "merge serving entries into BENCH_<date>.json in this directory (or the given .json path)")
+	)
+	flag.Parse()
+	engine, err := spt.ParseEngine(*phase2)
+	if err != nil {
+		die(err)
+	}
+	if *mode != "closed" && *mode != "open" {
+		die(fmt.Errorf("unknown -mode %q (want closed or open)", *mode))
+	}
+
+	// The cold-convergence baseline engine serves double duty: its
+	// world generates the query mix, and -baseline times the
+	// cold-convergence-per-query cost on it.
+	cold, err := serve.New(serve.Config{Topos: []string{*asFlag}, Seed: *seed, Phase2: engine, ColdConvergence: true})
+	if err != nil {
+		die(err)
+	}
+	w := cold.World(*asFlag)
+	mix := buildMix(w, *asFlag, *seed, *failures, *pairs, *scheme)
+	if len(mix) == 0 {
+		die(fmt.Errorf("no test cases found on %s", *asFlag))
+	}
+
+	base := *addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	client := &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        *conns,
+			MaxIdleConnsPerHost: *conns,
+		},
+	}
+	if err := waitReady(client, base, *wait); err != nil {
+		die(err)
+	}
+	before, err := fetchStats(client, base)
+	if err != nil {
+		die(err)
+	}
+
+	var (
+		hist    perf.Histogram
+		total   int64
+		errs    int64
+		elapsed time.Duration
+	)
+	switch *mode {
+	case "closed":
+		total, errs, elapsed = runClosed(&hist, client, base, mix, *conns, *duration)
+	case "open":
+		total, errs, elapsed = runOpen(&hist, client, base, mix, *conns, *rate, *duration)
+	}
+	after, err := fetchStats(client, base)
+	if err != nil {
+		die(err)
+	}
+	hitRate := serve.HitRate(before, after)
+	qps := 0.0
+	if elapsed > 0 {
+		qps = float64(total) / elapsed.Seconds()
+	}
+
+	fmt.Printf("rtrload: %s %s scheme=%s mode=%s conns=%d mix=%d queries/%d failures\n",
+		base, *asFlag, *scheme, *mode, *conns, len(mix), *failures)
+	fmt.Printf("  %d requests in %v: %.1f qps, %d errors, cache hit rate %.1f%%\n",
+		total, elapsed.Round(time.Millisecond), qps, errs, 100*hitRate)
+	fmt.Printf("  latency p50 %v  p90 %v  p99 %v  p999 %v  max %v\n",
+		ns(hist.Quantile(0.5)), ns(hist.Quantile(0.9)), ns(hist.Quantile(0.99)),
+		ns(hist.Quantile(0.999)), ns(hist.Max()))
+
+	entries := []perf.Entry{{
+		Name:         "serve-" + *mode + "-" + *scheme,
+		Topology:     *asFlag,
+		NsPerOp:      int64(hist.Mean()),
+		Cases:        int(total),
+		CasesPerSec:  qps,
+		P50Ns:        hist.Quantile(0.5),
+		P99Ns:        hist.Quantile(0.99),
+		CacheHitRate: hitRate,
+	}}
+
+	speedup := 0.0
+	if *baseline > 0 {
+		// Same mix, same process, no transport: one engine serves from
+		// a warm cache, the other rebuilds converged state cold (full
+		// per-destination Dijkstra) on every query. The ratio is the
+		// serving layer's win, with HTTP overhead priced into neither.
+		warm, err := serve.New(serve.Config{Topos: []string{*asFlag}, Seed: *seed, Phase2: engine, CacheEntries: *cacheSz})
+		if err != nil {
+			die(err)
+		}
+		for _, q := range mix { // prime the warm cache once
+			if _, err := warm.Query(q); err != nil {
+				die(fmt.Errorf("warm prime: %v", err))
+			}
+		}
+		warmHist, warmQPS := timeEngine(warm, mix, *baseline)
+		coldHist, coldQPS := timeEngine(cold, mix, *baseline)
+		if coldQPS > 0 {
+			speedup = warmQPS / coldQPS
+		}
+		fmt.Printf("  engine warm cache:  %.1f qps, p50 %v, p99 %v (in-process)\n",
+			warmQPS, ns(warmHist.Quantile(0.5)), ns(warmHist.Quantile(0.99)))
+		fmt.Printf("  cold convergence:   %.1f qps, p50 %v, p99 %v -> warm-cache speedup %.1fx\n",
+			coldQPS, ns(coldHist.Quantile(0.5)), ns(coldHist.Quantile(0.99)), speedup)
+		entries = append(entries,
+			perf.Entry{
+				Name:         "serve-warm-engine",
+				Topology:     *asFlag,
+				NsPerOp:      int64(warmHist.Mean()),
+				Cases:        *baseline,
+				CasesPerSec:  warmQPS,
+				P50Ns:        warmHist.Quantile(0.5),
+				P99Ns:        warmHist.Quantile(0.99),
+				CacheHitRate: 1,
+			},
+			perf.Entry{
+				Name:        "serve-cold-baseline",
+				Topology:    *asFlag,
+				NsPerOp:     int64(coldHist.Mean()),
+				Cases:       *baseline,
+				CasesPerSec: coldQPS,
+				P50Ns:       coldHist.Quantile(0.5),
+				P99Ns:       coldHist.Quantile(0.99),
+			})
+	}
+
+	if *benchOut != "" {
+		path, err := mergeBench(*benchOut, *asFlag, entries)
+		if err != nil {
+			die(fmt.Errorf("bench-json: %v", err))
+		}
+		fmt.Fprintf(os.Stderr, "rtrload: wrote %s\n", path)
+	}
+
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "rtrload: %d request errors\n", errs)
+		os.Exit(1)
+	}
+	if *minQPS > 0 && qps < *minQPS {
+		fmt.Fprintf(os.Stderr, "rtrload: %.1f qps below -min-qps %.1f\n", qps, *minQPS)
+		os.Exit(1)
+	}
+	if *minSpeed > 0 && speedup < *minSpeed {
+		fmt.Fprintf(os.Stderr, "rtrload: warm speedup %.1fx below -min-speedup %.1f\n", speedup, *minSpeed)
+		os.Exit(1)
+	}
+}
+
+func ns(v int64) time.Duration { return time.Duration(v).Round(time.Microsecond) }
+
+// timeEngine runs n queries of the mix serially through an in-process
+// engine and returns the latency histogram and throughput.
+func timeEngine(e *serve.Engine, mix []serve.Query, n int) (*perf.Histogram, float64) {
+	var h perf.Histogram
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		if _, err := e.Query(mix[i%len(mix)]); err != nil {
+			die(fmt.Errorf("baseline query: %v", err))
+		}
+		h.Record(time.Since(t0).Nanoseconds())
+	}
+	elapsed := time.Since(start)
+	if elapsed <= 0 {
+		return &h, 0
+	}
+	return &h, float64(n) / elapsed.Seconds()
+}
+
+func die(err error) {
+	fmt.Fprintf(os.Stderr, "rtrload: %v\n", err)
+	os.Exit(1)
+}
+
+// buildMix enumerates real test cases from deterministic random
+// failure instances — the identical derivation for every client with
+// the same seed, so daemon and load generator agree on the graphs and
+// the instances without any out-of-band coordination.
+func buildMix(w *sim.World, topo string, seed int64, failures, pairs int, scheme string) []serve.Query {
+	rng := rand.New(rand.NewSource(seedpkg.Derive(seed, "rtrload", topo)))
+	var mix []serve.Query
+	got := 0
+	for draws := 0; got < failures && draws < sim.MaxCollectDraws; draws++ {
+		sc := failure.RandomScenario(w.Topo, rng)
+		rec, irr := sim.CasesFromScenario(w, sc)
+		cases := append(rec, irr...)
+		if len(cases) == 0 {
+			continue
+		}
+		if len(cases) > pairs {
+			cases = cases[:pairs]
+		}
+		for _, c := range cases {
+			mix = append(mix, serve.Query{
+				Topo: topo, Failure: sc.Desc(),
+				Src: int(c.Initiator), Dst: int(c.Dst), Scheme: scheme,
+			})
+		}
+		got++
+	}
+	return mix
+}
+
+func queryURL(base string, q serve.Query) string {
+	v := url.Values{
+		"topo":    {q.Topo},
+		"failure": {q.Failure},
+		"src":     {strconv.Itoa(q.Src)},
+		"dst":     {strconv.Itoa(q.Dst)},
+	}
+	if q.Scheme != "" {
+		v.Set("scheme", q.Scheme)
+	}
+	return base + "/recover?" + v.Encode()
+}
+
+// doQuery fires one GET and fully drains the response so the
+// connection is reusable; any transport error or non-200 counts as a
+// request error.
+func doQuery(client *http.Client, base string, q serve.Query) bool {
+	resp, err := client.Get(queryURL(base, q))
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+func waitReady(client *http.Client, base string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon at %s not ready after %v", base, timeout)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+func fetchStats(client *http.Client, base string) (serve.Stats, error) {
+	var st serve.Stats
+	resp, err := client.Get(base + "/statsz")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("/statsz: status %d", resp.StatusCode)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// runClosed runs the closed loop: conns workers, each sending its next
+// query the moment the previous answer lands. Latency is per-request
+// round trip; per-worker histograms merge after the run so the hot
+// path records into unshared memory.
+func runClosed(out *perf.Histogram, client *http.Client, base string, mix []serve.Query, conns int, d time.Duration) (total, errs int64, elapsed time.Duration) {
+	hists := make([]perf.Histogram, conns)
+	var wg sync.WaitGroup
+	var errCount atomic.Int64
+	deadline := time.Now().Add(d)
+	start := time.Now()
+	for wk := 0; wk < conns; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			h := &hists[wk]
+			// Workers start at spread offsets so the same instant mixes
+			// failure instances instead of stampeding one entry.
+			for i := wk * 7; time.Now().Before(deadline); i++ {
+				t0 := time.Now()
+				if !doQuery(client, base, mix[i%len(mix)]) {
+					errCount.Add(1)
+				}
+				h.Record(time.Since(t0).Nanoseconds())
+			}
+		}(wk)
+	}
+	wg.Wait()
+	elapsed = time.Since(start)
+	for i := range hists {
+		out.Merge(&hists[i])
+	}
+	return out.Count(), errCount.Load(), elapsed
+}
+
+// runOpen runs the open loop: queries depart on a fixed schedule
+// (rate/sec) regardless of completions, with at most conns in flight.
+// Latency is measured from the intended departure time, so queueing
+// behind a saturated server shows up in the tail instead of silently
+// slowing the offered load (the coordinated-omission fix).
+func runOpen(out *perf.Histogram, client *http.Client, base string, mix []serve.Query, conns int, rate float64, d time.Duration) (total, errs int64, elapsed time.Duration) {
+	if rate <= 0 {
+		return 0, 0, 0
+	}
+	interval := time.Duration(float64(time.Second) / rate)
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	ticks := int64(d / interval)
+	hists := make([]perf.Histogram, conns)
+	var wg sync.WaitGroup
+	var errCount atomic.Int64
+	var next atomic.Int64
+	start := time.Now()
+	for wk := 0; wk < conns; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			h := &hists[wk]
+			for {
+				i := next.Add(1) - 1
+				if i >= ticks {
+					return
+				}
+				intended := start.Add(time.Duration(i) * interval)
+				if wait := time.Until(intended); wait > 0 {
+					time.Sleep(wait)
+				}
+				if !doQuery(client, base, mix[int(i)%len(mix)]) {
+					errCount.Add(1)
+				}
+				h.Record(time.Since(intended).Nanoseconds())
+			}
+		}(wk)
+	}
+	wg.Wait()
+	elapsed = time.Since(start)
+	for i := range hists {
+		out.Merge(&hists[i])
+	}
+	return out.Count(), errCount.Load(), elapsed
+}
+
+// mergeBench folds the serving entries into an existing BENCH_<date>
+// record (or starts a fresh one), replacing any previous entries with
+// the same (name, topology) so reruns update in place — a closed-loop
+// rerun does not clobber an earlier open-loop entry or vice versa. All
+// other entries are untouched and the record keeps the Recorder's sort
+// order (name, topology, procs).
+func mergeBench(path, topo string, entries []perf.Entry) (string, error) {
+	rec := perf.Record{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	out := path
+	if out == "" {
+		out = "."
+	}
+	if !strings.HasSuffix(out, ".json") {
+		out = filepath.Join(out, "BENCH_"+rec.Date+".json")
+	}
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return "", fmt.Errorf("existing %s: %w", out, err)
+		}
+		replaced := make(map[string]bool, len(entries))
+		for _, e := range entries {
+			replaced[e.Name+"\x00"+e.Topology] = true
+		}
+		kept := rec.Entries[:0]
+		for _, e := range rec.Entries {
+			if replaced[e.Name+"\x00"+e.Topology] {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		rec.Entries = kept
+	} else if !os.IsNotExist(err) {
+		return "", err
+	}
+	rec.Entries = append(rec.Entries, entries...)
+	sort.SliceStable(rec.Entries, func(i, j int) bool {
+		if rec.Entries[i].Name != rec.Entries[j].Name {
+			return rec.Entries[i].Name < rec.Entries[j].Name
+		}
+		if rec.Entries[i].Topology != rec.Entries[j].Topology {
+			return rec.Entries[i].Topology < rec.Entries[j].Topology
+		}
+		return rec.Entries[i].Procs < rec.Entries[j].Procs
+	})
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if dir := filepath.Dir(out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return "", err
+		}
+	}
+	return out, os.WriteFile(out, append(data, '\n'), 0o644)
+}

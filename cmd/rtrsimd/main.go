@@ -1,0 +1,108 @@
+// Command rtrsimd is the recovery-as-a-service daemon: it loads one
+// immutable world per Table II topology at startup and answers
+// single-pair recovery queries over HTTP, keeping a bounded LRU of
+// post-failure converged state so repeated failure instances are
+// served warm (one incremental recompute, then cache hits).
+//
+// Usage:
+//
+//	rtrsimd                                  # serve every topology on 127.0.0.1:8723
+//	rtrsimd -as AS7018 -cache 128            # one topology, bigger cache
+//	rtrsimd -phase2 alt -check               # goal-directed engine + invariant oracle
+//
+// Endpoints (see internal/serve):
+//
+//	GET  /recover?topo=AS7018&failure=disk(1200,900,250)&src=3&dst=41[&scheme=rtr]
+//	POST /recover   {"topo":..., "failure":..., "src":3, "dst":41}
+//	GET  /healthz   liveness
+//	GET  /statsz    cache hit/miss/eviction counters
+//
+// Responses are byte-identical to the sim harness's per-case outcomes
+// — the daemon is a serving shape over the same engines, never a
+// different answer. On SIGINT/SIGTERM the daemon stops accepting new
+// connections, drains in-flight requests (bounded by -drain), and
+// exits 2, mirroring the sweep engine's interrupt discipline.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+	"repro/internal/spt"
+)
+
+func main() {
+	var (
+		addr   = flag.String("addr", "127.0.0.1:8723", "listen address")
+		asFlag = flag.String("as", "all", "comma-separated Table II topologies to serve, or 'all'")
+		seed   = flag.Int64("seed", 1, "topology synthesis seed (clients must use the same seed to talk about the same graphs)")
+		phase2 = flag.String("phase2", "dijkstra", "phase-2 route engine: dijkstra, astar, or alt (identical answers)")
+		cache  = flag.Int("cache", 64, "converged-state LRU capacity across topologies; 0 disables caching (every query rebuilds converged state)")
+		check  = flag.Bool("check", false, "run the invariant oracle on every recovery case served; violations answer 500 with a repro string")
+		drain  = flag.Duration("drain", 10*time.Second, "maximum time to wait for in-flight requests on shutdown")
+	)
+	flag.Parse()
+	engine, err := spt.ParseEngine(*phase2)
+	if err != nil {
+		die(err)
+	}
+	var topos []string
+	if *asFlag != "all" {
+		for _, name := range strings.Split(*asFlag, ",") {
+			topos = append(topos, strings.TrimSpace(name))
+		}
+	}
+	start := time.Now()
+	e, err := serve.New(serve.Config{
+		Topos:        topos,
+		Seed:         *seed,
+		Phase2:       engine,
+		CacheEntries: *cache,
+		Check:        *check,
+	})
+	if err != nil {
+		die(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		die(err)
+	}
+	fmt.Fprintf(os.Stderr, "rtrsimd: serving %s on http://%s (phase2 %s, cache %d, check %v, startup %v)\n",
+		strings.Join(e.Topologies(), ","), ln.Addr(), engine, *cache, *check,
+		time.Since(start).Round(time.Millisecond))
+
+	srv := &http.Server{Handler: e.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		die(err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately
+		dctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(dctx); err != nil {
+			fmt.Fprintf(os.Stderr, "rtrsimd: drain: %v\n", err)
+		}
+		st := e.Stats()
+		fmt.Fprintf(os.Stderr, "rtrsimd: interrupted; drained (%d queries: %d hits / %d misses, %d evictions, %d client errors)\n",
+			st.Queries, st.CacheHits, st.CacheMisses, st.Evictions, st.ClientErrors)
+		os.Exit(2)
+	}
+}
+
+func die(err error) {
+	fmt.Fprintf(os.Stderr, "rtrsimd: %v\n", err)
+	os.Exit(1)
+}

@@ -38,6 +38,15 @@ type Entry struct {
 	// the record-level setting (Measure emits serial and parallel
 	// variants of the same phase side by side).
 	Procs int `json:"procs,omitempty"`
+	// P50Ns and P99Ns are optional per-operation latency percentiles
+	// for serving-style entries, where NsPerOp alone (a mean) hides
+	// tail behavior. Zero when the phase was not histogram-timed;
+	// existing entries and goldens are unaffected (omitempty).
+	P50Ns int64 `json:"p50_ns,omitempty"`
+	P99Ns int64 `json:"p99_ns,omitempty"`
+	// CacheHitRate is the warm-cache hit fraction in [0, 1] observed
+	// during a serving entry (0 when not applicable or not measured).
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
 }
 
 // Record is the JSON document a run emits.
@@ -69,6 +78,15 @@ func (r *Recorder) Observe(name, topology string, d time.Duration, cases int) {
 	if cases > 0 && d > 0 {
 		e.CasesPerSec = float64(cases) / d.Seconds()
 	}
+	r.mu.Lock()
+	r.entries = append(r.entries, e)
+	r.mu.Unlock()
+}
+
+// Add records a fully caller-built entry. Serving benchmarks use it to
+// attach histogram percentiles and cache hit rates that Observe's
+// duration-only signature cannot carry.
+func (r *Recorder) Add(e Entry) {
 	r.mu.Lock()
 	r.entries = append(r.entries, e)
 	r.mu.Unlock()

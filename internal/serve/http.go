@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the daemon's HTTP mux:
+//
+//	GET  /recover?topo=AS7018&failure=disk(1200,900,250)&src=3&dst=41[&scheme=rtr]
+//	POST /recover        {"topo": ..., "failure": ..., "src": 3, "dst": 41}
+//	GET  /healthz        liveness (200 once worlds are loaded)
+//	GET  /statsz         counter snapshot (cache hits/misses/evictions)
+//
+// Responses are JSON; client mistakes are 400 with {"error": ...},
+// server-side failures (including invariant violations under -check)
+// are 500.
+func (e *Engine) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/recover", e.handleRecover)
+	mux.HandleFunc("/healthz", e.handleHealthz)
+	mux.HandleFunc("/statsz", e.handleStatsz)
+	return mux
+}
+
+func (e *Engine) handleRecover(w http.ResponseWriter, r *http.Request) {
+	var q Query
+	switch r.Method {
+	case http.MethodGet:
+		qs := r.URL.Query()
+		q.Topo = qs.Get("topo")
+		q.Failure = qs.Get("failure")
+		q.Scheme = qs.Get("scheme")
+		var err error
+		if q.Src, err = strconv.Atoi(qs.Get("src")); err != nil {
+			e.badRequest(w, "bad src "+strconv.Quote(qs.Get("src")))
+			return
+		}
+		if q.Dst, err = strconv.Atoi(qs.Get("dst")); err != nil {
+			e.badRequest(w, "bad dst "+strconv.Quote(qs.Get("dst")))
+			return
+		}
+	case http.MethodPost:
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&q); err != nil {
+			e.badRequest(w, "bad request body: "+err.Error())
+			return
+		}
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use GET or POST"})
+		return
+	}
+	resp, err := e.Query(q)
+	if err != nil {
+		var ce *ClientError
+		if errors.As(err, &ce) {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": ce.Error()})
+		} else {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+func (e *Engine) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, e.Stats())
+}
+
+// badRequest rejects a request that never became a well-formed Query
+// (Engine.Query counts the ones that did).
+func (e *Engine) badRequest(w http.ResponseWriter, msg string) {
+	e.st.clientErrors.Add(1)
+	writeJSON(w, http.StatusBadRequest, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,342 @@
+// Package serve is the warm-cache recovery serving layer: a
+// concurrency-safe query engine over read-only per-topology worlds,
+// answering single-pair recovery queries ("after failure F, how does
+// src reach dst?") through the paper's protocols. The expensive piece
+// of such a query is the post-failure converged state; the engine
+// keeps a bounded LRU of it, keyed by the canonical failure-instance
+// fingerprint, so a repeated failure costs one delete-only incremental
+// recompute and every later query rides the warm entry. Responses are
+// byte-identical to the sim harness's per-case outcomes — the serving
+// layer is a different execution shape, never a different answer.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/invariant"
+	"repro/internal/sim"
+	"repro/internal/spt"
+	"repro/internal/topology"
+)
+
+// Scheme names accepted in queries.
+const (
+	SchemeRTR = "rtr"
+	SchemeFCP = "fcp"
+	SchemeMRC = "mrc"
+	// SchemeAll runs all three protocols on the case, sharing one
+	// ground-truth tree, exactly like the sim harness's RunAll.
+	SchemeAll = "all"
+)
+
+// Dispositions a query can resolve to. Only DispRecovery carries
+// protocol results; the others are legitimate non-case answers, not
+// errors.
+const (
+	// DispRecovery: src is live and its converged next hop toward dst
+	// is unreachable — the paper's test-case condition. The response
+	// carries the per-protocol outcome record.
+	DispRecovery = "recovery"
+	// DispForwarded: src's converged next hop is unaffected, so src
+	// forwards normally and initiates no recovery (some downstream
+	// router may; PathAffected says whether the converged path crosses
+	// the failure at all).
+	DispForwarded = "forwarded"
+	// DispInitiatorDown: src itself is inside the failure.
+	DispInitiatorDown = "initiator-down"
+	// DispNoRoute: the pre-failure tables hold no src -> dst route.
+	DispNoRoute = "no-route"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Topos are the Table II topology names to serve (all when empty).
+	Topos []string
+	// Seed is the synthesis seed shared by every topology.
+	Seed int64
+	// Phase2 selects the route engine the protocol engines are built
+	// with (dijkstra, astar, alt — identical outputs).
+	Phase2 spt.Engine
+	// CacheEntries bounds the converged-state LRU, shared across
+	// topologies; <= 0 disables caching entirely (every query rebuilds
+	// converged state — the cold baseline).
+	CacheEntries int
+	// Check runs the invariant oracle on every recovery case served; a
+	// violation fails the query with an internal error carrying the
+	// repro string.
+	Check bool
+	// ColdConvergence selects the benchmark baseline mode: converged
+	// state is rebuilt with a full per-destination Dijkstra instead of
+	// the delete-only incremental recompute. Answers are identical;
+	// combined with CacheEntries <= 0 this prices what serving a query
+	// costs when every query pays cold convergence — the baseline the
+	// warm-cache speedup is quoted against.
+	ColdConvergence bool
+}
+
+// Engine answers recovery queries over a fixed set of worlds. Worlds
+// and protocol engines are immutable after construction; per-request
+// scratch comes from the spt workspace pool and per-case session
+// state, so one Engine serves any number of goroutines.
+type Engine struct {
+	worlds map[string]*sim.World
+	names  []string
+	cache  *lru
+	check  bool
+	cold   bool
+	st     stats
+}
+
+// New loads one world per requested topology (in parallel — world
+// construction is the daemon's startup cost) and returns the engine.
+func New(cfg Config) (*Engine, error) {
+	names := cfg.Topos
+	if len(names) == 0 {
+		names = topology.ASNames()
+	}
+	e := &Engine{
+		worlds: make(map[string]*sim.World, len(names)),
+		cache:  newLRU(cfg.CacheEntries),
+		check:  cfg.Check,
+		cold:   cfg.ColdConvergence,
+	}
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+	)
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			w, err := sim.NewWorldPhase2(name, cfg.Seed, cfg.Phase2)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			e.worlds[name] = w
+		}(name)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	e.names = make([]string, 0, len(e.worlds))
+	for name := range e.worlds {
+		e.names = append(e.names, name)
+	}
+	sort.Strings(e.names)
+	return e, nil
+}
+
+// Topologies returns the sorted topology names the engine serves.
+func (e *Engine) Topologies() []string { return e.names }
+
+// World returns the engine's world for a topology (nil when not
+// served). Tests use it to grade responses against direct sim runs.
+func (e *Engine) World(name string) *sim.World { return e.worlds[name] }
+
+// Query is one recovery question.
+type Query struct {
+	// Topo names the topology; Failure is a failure-instance
+	// descriptor in failure.ParseInstance's grammar (any equivalent
+	// spelling of the same instance hits the same cache entry — the
+	// key is the canonical round-trip fingerprint, not the input).
+	Topo    string `json:"topo"`
+	Failure string `json:"failure"`
+	// Src and Dst are the pair, as node indices.
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+	// Scheme is rtr, fcp, mrc, or all (the default when empty).
+	Scheme string `json:"scheme,omitempty"`
+}
+
+// Response is the engine's answer.
+type Response struct {
+	Topo string `json:"topo"`
+	// Failure is the canonical instance fingerprint, usable verbatim
+	// as a future Query.Failure or a failure.ParseInstance input.
+	Failure     string `json:"failure"`
+	Src         int    `json:"src"`
+	Dst         int    `json:"dst"`
+	Scheme      string `json:"scheme"`
+	Disposition string `json:"disposition"`
+	// Recoverable is the ground-truth classification (recovery
+	// disposition only).
+	Recoverable bool `json:"recoverable,omitempty"`
+	// CacheHit reports whether the converged state was already warm.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// PathAffected (forwarded disposition only) reports whether the
+	// converged src -> dst path crosses the failure downstream — i.e.
+	// some other router on the path is a recovery initiator for this
+	// traffic even though src is not.
+	PathAffected bool `json:"path_affected,omitempty"`
+	// ConvergedCost and ConvergedHops describe the post-convergence
+	// src -> dst route on the surviving topology (what the IGP will
+	// use once it converges; absent when dst is down or unreachable).
+	ConvergedCost float64 `json:"converged_cost,omitempty"`
+	ConvergedHops int     `json:"converged_hops,omitempty"`
+	// Case carries the per-protocol outcome record for recovery
+	// dispositions, byte-identical to the sim harness's projection of
+	// the same case. Single-scheme queries fill only their protocol's
+	// sub-record.
+	Case *sim.CaseRecord `json:"case,omitempty"`
+}
+
+// ClientError marks a query the engine rejected as malformed (unknown
+// topology, bad failure descriptor, out-of-range pair, bad scheme) —
+// an HTTP 400, distinct from server-side failures.
+type ClientError struct{ Msg string }
+
+func (e *ClientError) Error() string { return e.Msg }
+
+func badRequestf(format string, args ...any) error {
+	return &ClientError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// Query answers one recovery question. Safe for concurrent use.
+func (e *Engine) Query(q Query) (*Response, error) {
+	e.st.queries.Add(1)
+	resp, err := e.query(q)
+	if err != nil {
+		var ce *ClientError
+		if errors.As(err, &ce) {
+			e.st.clientErrors.Add(1)
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (e *Engine) query(q Query) (*Response, error) {
+	w := e.worlds[q.Topo]
+	if w == nil {
+		return nil, badRequestf("unknown topology %q (serving %s)", q.Topo, strings.Join(e.names, ", "))
+	}
+	scheme := q.Scheme
+	if scheme == "" {
+		scheme = SchemeAll
+	}
+	switch scheme {
+	case SchemeRTR, SchemeFCP, SchemeMRC, SchemeAll:
+	default:
+		return nil, badRequestf("unknown scheme %q (want rtr, fcp, mrc, or all)", q.Scheme)
+	}
+	n := w.Topo.G.NumNodes()
+	if q.Src < 0 || q.Src >= n || q.Dst < 0 || q.Dst >= n {
+		return nil, badRequestf("pair (%d, %d) out of range on %s (%d nodes)", q.Src, q.Dst, q.Topo, n)
+	}
+	if q.Src == q.Dst {
+		return nil, badRequestf("source and destination are both %d", q.Src)
+	}
+	// Canonicalize the descriptor before the cache lookup: every
+	// spelling of the same instance (reordered terms, trailing zeros)
+	// maps to one fingerprint and therefore one cache entry.
+	sc, err := failure.ParseInstance(w.Topo, q.Failure)
+	if err != nil {
+		return nil, &ClientError{Msg: err.Error()}
+	}
+	fp := sc.Desc()
+
+	en, hit, evicted := e.cache.get(q.Topo+"\x00"+fp, func() *entry { return newEntry(q.Topo+"\x00"+fp, fp, sc) })
+	if hit {
+		e.st.hits.Add(1)
+	} else {
+		e.st.misses.Add(1)
+	}
+	if evicted > 0 {
+		e.st.evictions.Add(int64(evicted))
+	}
+	en.warm(w, e.cold)
+
+	resp := &Response{Topo: q.Topo, Failure: fp, Src: q.Src, Dst: q.Dst, Scheme: scheme, CacheHit: hit}
+	src, dst := graph.NodeID(q.Src), graph.NodeID(q.Dst)
+	if en.sc.NodeDown(src) {
+		resp.Disposition = DispInitiatorDown
+		return resp, nil
+	}
+	nh, link, ok := w.Tables.NextHop(src, dst)
+	if !ok {
+		resp.Disposition = DispNoRoute
+		return resp, nil
+	}
+	fillConverged(resp, en, src, dst)
+	if !en.lv.NeighborUnreachable(src, link) {
+		resp.Disposition = DispForwarded
+		if affected, err := w.Tables.PathFails(src, dst, en.sc); err == nil {
+			resp.PathAffected = affected
+		}
+		return resp, nil
+	}
+
+	// A genuine recovery case: identical, field for field, to the one
+	// sim.CasesFromScenario would enumerate for this triple.
+	resp.Disposition = DispRecovery
+	c := &sim.Case{
+		Scenario:    en.sc,
+		LV:          en.lv,
+		Initiator:   src,
+		Dst:         dst,
+		NextHop:     nh,
+		Trigger:     link,
+		Recoverable: en.recoverable(src, dst),
+	}
+	resp.Recoverable = c.Recoverable
+
+	truth := en.truthFor(w, src, e.cold)
+	out := sim.Outcome{Case: c, Truth: truth}
+	var firstErr error
+	if scheme == SchemeAll || scheme == SchemeRTR {
+		if out.RTR, err = sim.RunRTR(w, c, truth); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if scheme == SchemeAll || scheme == SchemeFCP {
+		if out.FCP, err = sim.RunFCP(w, c, truth); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if scheme == SchemeAll || scheme == SchemeMRC {
+		if out.MRC, err = sim.RunMRC(w, c, truth); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	out.Err = firstErr
+	if firstErr != nil {
+		e.st.runnerErrors.Add(1)
+	} else if e.check {
+		e.st.checked.Add(1)
+		prof := invariant.Profile{SinglePerimeter: !en.multiCluster}
+		if vs := invariant.New(w).WithProfile(prof).CheckCase(c); len(vs) > 0 {
+			e.st.violations.Add(int64(len(vs)))
+			return nil, fmt.Errorf("serve: %w", vs[0])
+		}
+	}
+	rec := out.Record()
+	resp.Case = &rec
+	return resp, nil
+}
+
+// fillConverged attaches the post-convergence route extras when the
+// destination is live and reachable on the surviving topology.
+func fillConverged(resp *Response, en *entry, src, dst graph.NodeID) {
+	if en.sc.NodeDown(dst) {
+		return
+	}
+	if cost, ok := en.post.Dist(src, dst); ok {
+		resp.ConvergedCost = cost
+		if h, ok := en.post.Hops(src, dst); ok {
+			resp.ConvergedHops = h
+		}
+	}
+}

@@ -1,0 +1,331 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/sim"
+	"repro/internal/spt"
+	"repro/internal/topology"
+)
+
+const testSeed = 3
+
+// simRecord computes the sim harness's own projection of one case:
+// cold forward truth tree, the three exported runners, Outcome.Record.
+// The differential tests compare daemon responses against this, byte
+// for byte.
+func simRecord(t *testing.T, w *sim.World, c *sim.Case) sim.CaseRecord {
+	t.Helper()
+	truth := spt.Compute(w.Topo.G, c.Initiator, c.Scenario)
+	out := sim.Outcome{Case: c, Truth: truth}
+	var err error
+	if out.RTR, err = sim.RunRTR(w, c, truth); err != nil && out.Err == nil {
+		out.Err = err
+	}
+	if out.FCP, err = sim.RunFCP(w, c, truth); err != nil && out.Err == nil {
+		out.Err = err
+	}
+	if out.MRC, err = sim.RunMRC(w, c, truth); err != nil && out.Err == nil {
+		out.Err = err
+	}
+	return out.Record()
+}
+
+func mustJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestDifferentialAllTopologies proves the serving layer is a
+// different execution shape, not a different answer: on every bundled
+// topology, responses served through the warm-cache engine carry case
+// records byte-identical to the sim harness's per-case outcomes.
+func TestDifferentialAllTopologies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a world per bundled topology")
+	}
+	for _, name := range topology.ASNames() {
+		t.Run(name, func(t *testing.T) {
+			e, err := New(Config{Topos: []string{name}, Seed: testSeed, CacheEntries: 8, Check: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The grading reference is a separately built world (same
+			// deterministic synthesis), so identical answers cannot come
+			// from shared in-memory state.
+			w, err := sim.NewWorld(name, testSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			checked := 0
+			for draws := 0; checked < 12 && draws < sim.MaxCollectDraws; draws++ {
+				sc := failure.RandomScenario(w.Topo, rng)
+				rec, irr := sim.CasesFromScenario(w, sc)
+				for _, c := range append(rec, irr...) {
+					if checked >= 12 {
+						break
+					}
+					resp, err := e.Query(Query{
+						Topo: name, Failure: c.Scenario.Desc(),
+						Src: int(c.Initiator), Dst: int(c.Dst),
+					})
+					if err != nil {
+						t.Fatalf("query (%d -> %d, %s): %v", c.Initiator, c.Dst, c.Scenario.Desc(), err)
+					}
+					if resp.Disposition != DispRecovery {
+						t.Fatalf("enumerated case served as %q", resp.Disposition)
+					}
+					if resp.Recoverable != c.Recoverable {
+						t.Fatalf("recoverable: served %v, sim %v", resp.Recoverable, c.Recoverable)
+					}
+					if resp.Failure != c.Scenario.Desc() {
+						t.Fatalf("fingerprint %q != descriptor %q", resp.Failure, c.Scenario.Desc())
+					}
+					want := simRecord(t, w, c)
+					if got, exp := mustJSON(t, resp.Case), mustJSON(t, &want); got != exp {
+						t.Fatalf("case record differs:\n served %s\n sim    %s", got, exp)
+					}
+					checked++
+				}
+			}
+			if checked == 0 {
+				t.Fatal("no cases checked")
+			}
+		})
+	}
+}
+
+// TestSingleSchemeProjection pins the single-scheme contract: a
+// scheme-restricted query runs only that protocol and fills only its
+// sub-record, which equals the corresponding slice of the all-scheme
+// answer.
+func TestSingleSchemeProjection(t *testing.T) {
+	e := testEngine(t, "AS1239", 4)
+	q := testCaseQuery(t, e, "AS1239")
+	all, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zero sim.CaseRecord
+	for _, scheme := range []string{SchemeRTR, SchemeFCP, SchemeMRC} {
+		qq := q
+		qq.Scheme = scheme
+		resp, err := e.Query(qq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ref := *resp.Case, *all.Case
+		if scheme != SchemeRTR {
+			if mustJSON(t, got.RTR) != mustJSON(t, zero.RTR) {
+				t.Errorf("%s query filled the RTR sub-record", scheme)
+			}
+			got.RTR, ref.RTR = zero.RTR, zero.RTR
+		}
+		if scheme != SchemeFCP {
+			got.FCP, ref.FCP = zero.FCP, zero.FCP
+		}
+		if scheme != SchemeMRC {
+			got.MRC, ref.MRC = zero.MRC, zero.MRC
+		}
+		if mustJSON(t, got) != mustJSON(t, ref) {
+			t.Errorf("%s sub-record differs from the all-scheme answer:\n %s\n %s",
+				scheme, mustJSON(t, got), mustJSON(t, ref))
+		}
+	}
+}
+
+// testEngine builds a single-topology engine once per (name, cache)
+// pair within a test.
+func testEngine(t *testing.T, name string, cacheEntries int) *Engine {
+	t.Helper()
+	e, err := New(Config{Topos: []string{name}, Seed: testSeed, CacheEntries: cacheEntries})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// testCaseQuery finds one recovery-disposition query on the engine's
+// world deterministically.
+func testCaseQuery(t *testing.T, e *Engine, name string) Query {
+	t.Helper()
+	w := e.World(name)
+	rng := rand.New(rand.NewSource(5))
+	for draws := 0; draws < sim.MaxCollectDraws; draws++ {
+		sc := failure.RandomScenario(w.Topo, rng)
+		rec, _ := sim.CasesFromScenario(w, sc)
+		if len(rec) == 0 {
+			continue
+		}
+		c := rec[0]
+		return Query{Topo: name, Failure: sc.Desc(), Src: int(c.Initiator), Dst: int(c.Dst)}
+	}
+	t.Fatal("no recoverable case found")
+	return Query{}
+}
+
+// TestDispositionsAndErrors covers the non-recovery answers and the
+// client-error contract.
+func TestDispositionsAndErrors(t *testing.T) {
+	e := testEngine(t, "AS1239", 4)
+	w := e.World("AS1239")
+	n := w.Topo.G.NumNodes()
+
+	// A live pair with no failure in the way forwards normally.
+	resp, err := e.Query(Query{Topo: "AS1239", Failure: "none", Src: 0, Dst: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Disposition != DispForwarded || resp.PathAffected {
+		t.Errorf("no-failure query: got %q (affected %v), want forwarded/false", resp.Disposition, resp.PathAffected)
+	}
+	if resp.ConvergedHops == 0 {
+		t.Error("forwarded response missing converged route extras")
+	}
+
+	// A failed initiator is a legitimate answer, not an error.
+	rng := rand.New(rand.NewSource(9))
+	for {
+		sc := failure.RandomScenario(w.Topo, rng)
+		down := sc.FailedNodes()
+		if len(down) == 0 {
+			continue
+		}
+		dst := 0
+		if int(down[0]) == dst {
+			dst = 1
+		}
+		resp, err := e.Query(Query{Topo: "AS1239", Failure: sc.Desc(), Src: int(down[0]), Dst: dst})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.Disposition != DispInitiatorDown {
+			t.Errorf("failed initiator: got %q, want %q", resp.Disposition, DispInitiatorDown)
+		}
+		break
+	}
+
+	// Client mistakes: all four rejection classes are ClientErrors.
+	bad := []Query{
+		{Topo: "AS9999", Failure: "none", Src: 0, Dst: 1},
+		{Topo: "AS1239", Failure: "garbage(", Src: 0, Dst: 1},
+		{Topo: "AS1239", Failure: "none", Src: 0, Dst: n},
+		{Topo: "AS1239", Failure: "none", Src: 2, Dst: 2},
+		{Topo: "AS1239", Failure: "none", Src: 0, Dst: 1, Scheme: "ospf"},
+	}
+	for _, q := range bad {
+		if _, err := e.Query(q); err == nil {
+			t.Errorf("query %+v accepted", q)
+		} else if _, ok := err.(*ClientError); !ok {
+			t.Errorf("query %+v: error %v is not a ClientError", q, err)
+		}
+	}
+	if st := e.Stats(); st.ClientErrors != int64(len(bad)) {
+		t.Errorf("client errors: counted %d, want %d", st.ClientErrors, len(bad))
+	}
+}
+
+// TestCacheKeyCanonicalization proves equivalent spellings of one
+// instance share a cache entry: the second query is a hit even though
+// its descriptor string differs.
+func TestCacheKeyCanonicalization(t *testing.T) {
+	e := testEngine(t, "AS1239", 4)
+	q := testCaseQuery(t, e, "AS1239")
+	first, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CacheHit {
+		t.Fatal("first query reported a cache hit")
+	}
+	// Respell: the canonical fingerprint itself must round-trip to the
+	// same key, and so must a whitespace-padded variant.
+	for _, desc := range []string{first.Failure, " " + first.Failure} {
+		resp, err := e.Query(Query{Topo: q.Topo, Failure: desc, Src: q.Src, Dst: q.Dst})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !resp.CacheHit {
+			t.Errorf("respelled descriptor %q missed the cache", desc)
+		}
+	}
+	st := e.Stats()
+	if st.CacheMisses != 1 || st.CacheHits != 2 {
+		t.Errorf("stats: %d misses / %d hits, want 1 / 2", st.CacheMisses, st.CacheHits)
+	}
+}
+
+// TestLRUEviction drives the engine past its capacity with distinct
+// instances and checks eviction accounting and recency order.
+func TestLRUEviction(t *testing.T) {
+	e := testEngine(t, "AS1239", 2)
+	mk := func(i int) Query {
+		return Query{Topo: "AS1239", Failure: fmt.Sprintf("links(%d)", i), Src: 0, Dst: 1}
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := e.Query(mk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	if st.CacheMisses != 4 || st.Evictions != 2 || st.CacheEntries != 2 {
+		t.Fatalf("after 4 distinct instances at cap 2: %+v", st)
+	}
+	// The two most recent instances are warm; the oldest is gone.
+	if resp, _ := e.Query(mk(3)); resp == nil || !resp.CacheHit {
+		t.Error("most recent instance was evicted")
+	}
+	if resp, _ := e.Query(mk(0)); resp == nil || resp.CacheHit {
+		t.Error("evicted instance reported a cache hit")
+	}
+}
+
+// TestCacheDisabled pins the cold-baseline mode: capacity 0 disables
+// the cache entirely, so identical queries never hit.
+func TestCacheDisabled(t *testing.T) {
+	e := testEngine(t, "AS1239", 0)
+	q := testCaseQuery(t, e, "AS1239")
+	a, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.CacheHit || b.CacheHit {
+		t.Error("disabled cache reported a hit")
+	}
+	if mustJSON(t, a.Case) != mustJSON(t, b.Case) {
+		t.Error("cold rebuilds disagree with each other")
+	}
+	// The cold-convergence baseline mode changes the cost, never the
+	// answer: full Dijkstra rebuilds serve bit-identical responses.
+	cold, err := New(Config{Topos: []string{"AS1239"}, Seed: testSeed, ColdConvergence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cold.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mustJSON(t, c.Case) != mustJSON(t, a.Case) {
+		t.Error("cold-convergence baseline answer differs from the incremental answer")
+	}
+	st := e.Stats()
+	if st.CacheHits != 0 || st.CacheMisses != 2 || st.CacheEntries != 0 {
+		t.Errorf("disabled-cache stats: %+v", st)
+	}
+	if HitRate(Stats{}, st) != 0 {
+		t.Error("hit rate nonzero with cache disabled")
+	}
+}

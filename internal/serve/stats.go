@@ -1,0 +1,76 @@
+package serve
+
+import "sync/atomic"
+
+// stats is the engine's atomic counter block. Counters only ever
+// increase; Snapshot reads them individually (no cross-counter
+// atomicity is needed — consumers compute rates from deltas of two
+// snapshots, which tolerates torn reads across counters).
+type stats struct {
+	queries      atomic.Int64
+	hits         atomic.Int64
+	misses       atomic.Int64
+	evictions    atomic.Int64
+	clientErrors atomic.Int64
+	runnerErrors atomic.Int64
+	checked      atomic.Int64
+	violations   atomic.Int64
+}
+
+// Stats is one observation of the engine's counters, served by
+// /statsz. CacheHits + CacheMisses counts converged-state lookups
+// (only queries that reach the cache: eligible topology, parseable
+// failure instance); Evictions counts LRU entries dropped to capacity.
+type Stats struct {
+	// Queries counts every Query call, whatever its outcome.
+	Queries int64 `json:"queries"`
+	// CacheHits counts queries answered from a warm converged-state
+	// entry (including queries that waited on another request's
+	// in-flight warm-up rather than recomputing).
+	CacheHits int64 `json:"cache_hits"`
+	// CacheMisses counts queries that had to warm a converged-state
+	// entry via the incremental recompute path.
+	CacheMisses int64 `json:"cache_misses"`
+	// Evictions counts entries dropped from the LRU to stay within
+	// capacity.
+	Evictions int64 `json:"evictions"`
+	// CacheEntries is the current number of cached converged states.
+	CacheEntries int64 `json:"cache_entries"`
+	// ClientErrors counts rejected queries (unknown topology, bad
+	// failure descriptor, out-of-range pair, bad scheme).
+	ClientErrors int64 `json:"client_errors"`
+	// RunnerErrors counts protocol-runner errors carried inside
+	// otherwise-successful responses (the per-case Err field).
+	RunnerErrors int64 `json:"runner_errors"`
+	// Checked and Violations count invariant-oracle runs and the
+	// violations they found (always 0 unless the engine runs with
+	// Check).
+	Checked    int64 `json:"checked,omitempty"`
+	Violations int64 `json:"violations,omitempty"`
+}
+
+// Stats returns the current counter snapshot.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Queries:      e.st.queries.Load(),
+		CacheHits:    e.st.hits.Load(),
+		CacheMisses:  e.st.misses.Load(),
+		Evictions:    e.st.evictions.Load(),
+		CacheEntries: int64(e.cache.len()),
+		ClientErrors: e.st.clientErrors.Load(),
+		RunnerErrors: e.st.runnerErrors.Load(),
+		Checked:      e.st.checked.Load(),
+		Violations:   e.st.violations.Load(),
+	}
+}
+
+// HitRate returns the warm-cache hit fraction of the lookups between
+// two snapshots (0 when no lookups happened in the window).
+func HitRate(before, after Stats) float64 {
+	hits := after.CacheHits - before.CacheHits
+	total := hits + after.CacheMisses - before.CacheMisses
+	if total <= 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 
 	"repro/internal/failure"
+	"repro/internal/graph"
+	"repro/internal/routing"
 	"repro/internal/spt"
 )
 
@@ -42,6 +44,48 @@ func NewSinglePair(w *World, seed int64) (*SinglePair, error) {
 		}, nil
 	}
 	return nil, fmt.Errorf("sim: no recoverable case on %s after %d draws", w.Topo.Name, MaxCollectDraws)
+}
+
+// NewSinglePairFrom freezes an explicit (failure instance, initiator,
+// destination) triple instead of drawing one at random, so a daemon
+// differential test or a load generator can replay the exact query mix
+// another process answers. The triple must form a genuine test case in
+// the paper's sense: src is live and its converged next hop toward dst
+// is unreachable under sc. The frozen Case is field-identical to the
+// one CasesFromScenario would enumerate for the same triple (the
+// reachability classification through the ground-truth tree equals
+// component membership on the undirected surviving graph).
+func NewSinglePairFrom(w *World, sc *failure.Scenario, src, dst graph.NodeID) (*SinglePair, error) {
+	n := w.Topo.G.NumNodes()
+	if int(src) < 0 || int(src) >= n || int(dst) < 0 || int(dst) >= n {
+		return nil, fmt.Errorf("sim: pair (%d, %d) out of range on %s (%d nodes)", src, dst, w.Topo.Name, n)
+	}
+	if src == dst {
+		return nil, fmt.Errorf("sim: source and destination are both %d", src)
+	}
+	if sc.NodeDown(src) {
+		return nil, fmt.Errorf("sim: initiator %d is inside the failure", src)
+	}
+	nh, link, ok := w.Tables.NextHop(src, dst)
+	if !ok {
+		return nil, fmt.Errorf("sim: no converged route %d -> %d on %s", src, dst, w.Topo.Name)
+	}
+	lv := routing.NewLocalView(w.Topo, sc)
+	if !lv.NeighborUnreachable(src, link) {
+		return nil, fmt.Errorf("sim: converged next hop %d -> %d is unaffected; not a recovery case", src, nh)
+	}
+	truth := spt.Compute(w.Topo.G, src, sc)
+	_, reachable := truth.CostTo(dst)
+	c := &Case{
+		Scenario:    sc,
+		LV:          lv,
+		Initiator:   src,
+		Dst:         dst,
+		NextHop:     nh,
+		Trigger:     link,
+		Recoverable: !sc.NodeDown(dst) && reachable,
+	}
+	return &SinglePair{W: w, C: c, truth: truth}, nil
 }
 
 // RTR runs one full RTR recovery of the frozen case: fresh session,

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/graph"
+)
+
+// TestNewSinglePairFromMatchesEnumeration proves the frozen-case
+// constructor reproduces CasesFromScenario's classification exactly:
+// for every enumerated case of a scenario, freezing its (instance,
+// src, dst) triple yields a field-identical Case, and the per-protocol
+// outcomes match the enumeration-built case's outcomes bit for bit.
+func TestNewSinglePairFromMatchesEnumeration(t *testing.T) {
+	w, err := NewWorld("AS1239", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	checked := 0
+	for draws := 0; checked < 40 && draws < MaxCollectDraws; draws++ {
+		sc := failure.RandomScenario(w.Topo, rng)
+		rec, irr := CasesFromScenario(w, sc)
+		for _, c := range append(rec, irr...) {
+			if checked >= 40 {
+				break
+			}
+			p, err := NewSinglePairFrom(w, c.Scenario, c.Initiator, c.Dst)
+			if err != nil {
+				t.Fatalf("freezing enumerated case (%d -> %d): %v", c.Initiator, c.Dst, err)
+			}
+			if p.C.Initiator != c.Initiator || p.C.Dst != c.Dst || p.C.NextHop != c.NextHop ||
+				p.C.Trigger != c.Trigger || p.C.Recoverable != c.Recoverable || p.C.Scenario != c.Scenario {
+				t.Fatalf("frozen case differs from enumerated case:\n got %+v\nwant %+v", p.C, c)
+			}
+			gotR, err1 := p.RTR()
+			wantR, err2 := RunRTR(w, c, nil)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("RTR errors: %v / %v", err1, err2)
+			}
+			if !reflect.DeepEqual(gotR, wantR) {
+				t.Fatalf("RTR outcome differs:\n got %+v\nwant %+v", gotR, wantR)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no cases checked")
+	}
+}
+
+// TestNewSinglePairFromRejects pins the constructor's fail-fast
+// contract for triples that are not recovery cases.
+func TestNewSinglePairFromRejects(t *testing.T) {
+	w, err := NewWorld("AS1239", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := w.Topo.G.NumNodes()
+	empty, err := failure.ParseInstance(w.Topo, "none")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSinglePairFrom(w, empty, 0, graph.NodeID(n)); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	if _, err := NewSinglePairFrom(w, empty, 3, 3); err == nil {
+		t.Error("src == dst accepted")
+	}
+	// No failure at all: the next hop is reachable, so no case exists.
+	if _, err := NewSinglePairFrom(w, empty, 0, 1); err == nil {
+		t.Error("unaffected next hop accepted")
+	}
+	// A failed initiator must be rejected.
+	rng := rand.New(rand.NewSource(9))
+	for {
+		sc := failure.RandomScenario(w.Topo, rng)
+		down := sc.FailedNodes()
+		if len(down) == 0 {
+			continue
+		}
+		var alive graph.NodeID
+		for v := 0; v < n; v++ {
+			if !sc.NodeDown(graph.NodeID(v)) && graph.NodeID(v) != down[0] {
+				alive = graph.NodeID(v)
+				break
+			}
+		}
+		if _, err := NewSinglePairFrom(w, sc, down[0], alive); err == nil {
+			t.Error("failed initiator accepted")
+		}
+		break
+	}
+}
