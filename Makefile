@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-diff sweep-smoke sweep-smoke-generators check-invariants serve-smoke fuzz-smoke clean
+.PHONY: check vet build test race bench-smoke bench bench-diff sweep-smoke sweep-smoke-generators check-invariants serve-smoke scale-smoke fuzz-smoke clean
 
 ## check: the full pre-merge gate — vet, build, race-enabled tests, a
 ## one-iteration pass over every benchmark so bench code can't rot, an
 ## interrupt/resume sweep that must reproduce the uninterrupted run
 ## byte for byte, an invariant-checked sweep, a checked smoke sweep
-## per alternative failure generator, and a live daemon/load-generator
-## round trip.
-check: vet build race bench-smoke sweep-smoke sweep-smoke-generators check-invariants serve-smoke
+## per alternative failure generator, a live daemon/load-generator
+## round trip, and the 100k-node scale pipeline under wall-clock/RSS
+## budgets.
+check: vet build race bench-smoke sweep-smoke sweep-smoke-generators check-invariants serve-smoke scale-smoke
 
 vet:
 	$(GO) vet ./...
@@ -99,6 +100,20 @@ serve-smoke:
 	  kill -INT $$pid; wait $$pid; test $$? -eq 2
 	rm -rf .serve-smoke
 
+## scale-smoke: the 100k-node pipeline end to end — hierarchical
+## synthesis, binary snapshot write plus streamed re-read, scale-mode
+## world build (lazy tables, MRC disabled), one invariant-checked
+## sweep shard with destination sampling, a converged-batch
+## recompute, and warm single-pair serving. Gated on total wall clock
+## and peak RSS (VmHWM) so large-graph time/memory regressions fail
+## the pre-merge gate instead of landing silently. The budgets carry
+## ~5x headroom over a measured single-core run (40s / 453 MiB).
+SCALE_NODES ?= 100000
+SCALE_BUDGET ?= 4m
+SCALE_RSS_MB ?= 1536
+scale-smoke:
+	$(GO) run ./cmd/rtrscale -nodes $(SCALE_NODES) -budget $(SCALE_BUDGET) -max-rss-mb $(SCALE_RSS_MB)
+
 ## fuzz-smoke: a short native-fuzzing pass over the wire decoder, the
 ## topology parser, the failure-generator spec parser, and the capsule
 ## geometry predicates (CI runs this; use go test -fuzz directly for
@@ -106,7 +121,8 @@ serve-smoke:
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test -run xxx -fuzz FuzzDecodeHeader -fuzztime $(FUZZTIME) ./internal/routing
-	$(GO) test -run xxx -fuzz FuzzRead -fuzztime $(FUZZTIME) ./internal/topology
+	$(GO) test -run xxx -fuzz 'FuzzRead$$' -fuzztime $(FUZZTIME) ./internal/topology
+	$(GO) test -run xxx -fuzz FuzzReadBinary -fuzztime $(FUZZTIME) ./internal/topology
 	$(GO) test -run xxx -fuzz FuzzGeneratorSpec -fuzztime $(FUZZTIME) ./internal/failure
 	$(GO) test -run xxx -fuzz FuzzCapsuleIntersect -fuzztime $(FUZZTIME) ./internal/geom
 

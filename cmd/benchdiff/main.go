@@ -5,10 +5,13 @@
 // without failing the gate. With -fail-over N (percent, > 0) it exits
 // 1 when any entry's ns/op regressed by more than N percent, turning
 // the same comparison into an opt-in gate. With -fail-allocs-over N it
-// exits 1 when any single-pair-* entry's allocs/op regressed by more
-// than N percent: those entries run a fixed op count over pooled
-// scratch, so their allocation counts are deterministic and gate-worthy
-// while the remaining entries' global-malloc deltas stay informational.
+// exits 1 when any single-pair-* or scale-* entry's allocs/op
+// regressed by more than N percent: those entries run a fixed op count
+// over pooled scratch (single-pair) or a fixed seeded pipeline
+// (scale), so their allocation counts are deterministic and
+// gate-worthy while the remaining entries' global-malloc deltas stay
+// informational. Allocated byte volume (bytes_per_op) is printed
+// alongside for every measured entry.
 //
 // For the single-pair-<proto>-<engine> entries the diff is followed by
 // a speedup table: per (protocol, topology), the goal-directed engines'
@@ -43,7 +46,7 @@ import (
 func main() {
 	oldPath := flag.String("old", "", "previous record (default: latest checked-in BENCH_*.json)")
 	failOver := flag.Float64("fail-over", 0, "exit 1 if any ns/op regression exceeds this percentage (0 = never fail)")
-	failAllocsOver := flag.Float64("fail-allocs-over", 0, "exit 1 if any single-pair-* entry's allocs/op regression exceeds this percentage (0 = never fail)")
+	failAllocsOver := flag.Float64("fail-allocs-over", 0, "exit 1 if any single-pair-* or scale-* entry's allocs/op regression exceeds this percentage (0 = never fail)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff [-old prev.json] [-fail-over pct] [-fail-allocs-over pct] new.json")
@@ -76,7 +79,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *failAllocsOver > 0 && worstAllocs > *failAllocsOver {
-		fmt.Fprintf(os.Stderr, "benchdiff: worst single-pair allocs/op regression %+.1f%% exceeds -fail-allocs-over %.1f%%\n", worstAllocs, *failAllocsOver)
+		fmt.Fprintf(os.Stderr, "benchdiff: worst gated allocs/op regression %+.1f%% exceeds -fail-allocs-over %.1f%%\n", worstAllocs, *failAllocsOver)
 		os.Exit(1)
 	}
 }
@@ -131,14 +134,39 @@ func fmtAllocs(n int64) string {
 	return fmt.Sprintf("%d", n)
 }
 
+// fmtBytes renders an allocated-volume cell in humanized units
+// ("-" when the record predates byte tracking).
+func fmtBytes(n int64) string {
+	switch {
+	case n == 0:
+		return "-"
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// gatedAllocs reports whether an entry's allocation count is
+// deterministic enough for the -fail-allocs-over gate: the pooled
+// single-pair microbenchmarks and the seeded large-graph scale
+// pipeline.
+func gatedAllocs(name string) bool {
+	return strings.HasPrefix(name, "single-pair-") || strings.HasPrefix(name, "scale-")
+}
+
 // diff prints the per-entry comparison and returns the worst ns/op
 // regression in percent across all entries plus the worst allocs/op
 // regression across the single-pair-* entries (each negative or zero
 // when nothing got worse).
 func diff(w *os.File, oldPath string, oldRec *perf.Record, newPath string, newRec *perf.Record) (worstNs, worstAllocs float64) {
 	fmt.Fprintf(w, "benchdiff: %s (%s) -> %s (%s)\n", oldPath, oldRec.Date, newPath, newRec.Date)
-	fmt.Fprintf(w, "%-22s %-8s %5s %14s %14s %9s %12s %12s\n",
-		"entry", "topology", "procs", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs")
+	fmt.Fprintf(w, "%-22s %-8s %5s %14s %14s %9s %12s %12s %10s %10s\n",
+		"entry", "topology", "procs", "old ns/op", "new ns/op", "delta", "old allocs", "new allocs", "old B/op", "new B/op")
 	oldBy := map[entryKey]perf.Entry{}
 	for _, e := range oldRec.Entries {
 		oldBy[entryKey{e.Name, e.Topology, e.Procs}] = e
@@ -149,8 +177,8 @@ func diff(w *os.File, oldPath string, oldRec *perf.Record, newPath string, newRe
 		seen[k] = true
 		o, ok := oldBy[k]
 		if !ok {
-			fmt.Fprintf(w, "%-22s %-8s %5d %14s %14d %9s %12s %12s\n",
-				e.Name, e.Topology, e.Procs, "-", e.NsPerOp, "new", "-", fmtAllocs(e.AllocsPerOp))
+			fmt.Fprintf(w, "%-22s %-8s %5d %14s %14d %9s %12s %12s %10s %10s\n",
+				e.Name, e.Topology, e.Procs, "-", e.NsPerOp, "new", "-", fmtAllocs(e.AllocsPerOp), "-", fmtBytes(e.BytesPerOp))
 			continue
 		}
 		delta := "n/a"
@@ -164,19 +192,20 @@ func diff(w *os.File, oldPath string, oldRec *perf.Record, newPath string, newRe
 			}
 			delta = fmt.Sprintf("%+.1f%%", pct)
 		}
-		if strings.HasPrefix(e.Name, "single-pair-") && o.AllocsPerOp > 0 {
+		if gatedAllocs(e.Name) && o.AllocsPerOp > 0 {
 			if pct := 100 * float64(e.AllocsPerOp-o.AllocsPerOp) / float64(o.AllocsPerOp); pct > worstAllocs {
 				worstAllocs = pct
 			}
 		}
-		fmt.Fprintf(w, "%-22s %-8s %5d %14d %14d %9s %12s %12s\n",
-			e.Name, e.Topology, e.Procs, o.NsPerOp, e.NsPerOp, delta, fmtAllocs(o.AllocsPerOp), fmtAllocs(e.AllocsPerOp))
+		fmt.Fprintf(w, "%-22s %-8s %5d %14d %14d %9s %12s %12s %10s %10s\n",
+			e.Name, e.Topology, e.Procs, o.NsPerOp, e.NsPerOp, delta, fmtAllocs(o.AllocsPerOp), fmtAllocs(e.AllocsPerOp),
+			fmtBytes(o.BytesPerOp), fmtBytes(e.BytesPerOp))
 	}
 	for _, e := range oldRec.Entries {
 		k := entryKey{e.Name, e.Topology, e.Procs}
 		if !seen[k] {
-			fmt.Fprintf(w, "%-22s %-8s %5d %14d %14s %9s %12s %12s\n",
-				e.Name, e.Topology, e.Procs, e.NsPerOp, "-", "gone", fmtAllocs(e.AllocsPerOp), "-")
+			fmt.Fprintf(w, "%-22s %-8s %5d %14d %14s %9s %12s %12s %10s %10s\n",
+				e.Name, e.Topology, e.Procs, e.NsPerOp, "-", "gone", fmtAllocs(e.AllocsPerOp), "-", fmtBytes(e.BytesPerOp), "-")
 		}
 	}
 	return worstNs, worstAllocs

@@ -24,6 +24,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -32,9 +33,6 @@ import (
 	"net/http"
 	"net/url"
 	"os"
-	"path/filepath"
-	"runtime"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -61,6 +59,7 @@ func main() {
 		rate     = flag.Float64("rate", 200, "open-loop departure rate (queries/sec)")
 		failures = flag.Int("failures", 16, "distinct failure instances in the query mix")
 		pairs    = flag.Int("pairs", 8, "queries (cases) per failure instance")
+		batch    = flag.Int("batch", 0, "POST batches of up to N (src,dst) pairs per failure instance (0 or 1 fires single GET queries)")
 		wait     = flag.Duration("wait", 30*time.Second, "max time to wait for the daemon's /healthz")
 		minQPS   = flag.Float64("min-qps", 0, "exit 1 when achieved qps is below this")
 		minSpeed = flag.Float64("min-speedup", 0, "exit 1 when warm-engine qps / cold baseline qps is below this (needs -baseline)")
@@ -110,6 +109,17 @@ func main() {
 		die(err)
 	}
 
+	// -batch folds the mix into POST batches: the queries that share a
+	// failure instance ride one request and one server-side cache
+	// lookup. Latency is then per batch, throughput still per pair.
+	fire := func(i int) bool { return doQuery(client, base, mix[i%len(mix)]) }
+	perReq := 1
+	if *batch > 1 {
+		batches := buildBatches(mix, *batch)
+		perReq = (len(mix) + len(batches) - 1) / len(batches)
+		fire = func(i int) bool { return doBatch(client, base, batches[i%len(batches)]) }
+	}
+
 	var (
 		hist    perf.Histogram
 		total   int64
@@ -118,9 +128,9 @@ func main() {
 	)
 	switch *mode {
 	case "closed":
-		total, errs, elapsed = runClosed(&hist, client, base, mix, *conns, *duration)
+		total, errs, elapsed = runClosed(&hist, fire, *conns, *duration)
 	case "open":
-		total, errs, elapsed = runOpen(&hist, client, base, mix, *conns, *rate, *duration)
+		total, errs, elapsed = runOpen(&hist, fire, *conns, *rate, *duration)
 	}
 	after, err := fetchStats(client, base)
 	if err != nil {
@@ -134,14 +144,24 @@ func main() {
 
 	fmt.Printf("rtrload: %s %s scheme=%s mode=%s conns=%d mix=%d queries/%d failures\n",
 		base, *asFlag, *scheme, *mode, *conns, len(mix), *failures)
+	if perReq > 1 {
+		fmt.Printf("  batched: ~%d pairs per request (-batch %d), %.1f pairs/sec\n",
+			perReq, *batch, qps*float64(perReq))
+	}
 	fmt.Printf("  %d requests in %v: %.1f qps, %d errors, cache hit rate %.1f%%\n",
 		total, elapsed.Round(time.Millisecond), qps, errs, 100*hitRate)
 	fmt.Printf("  latency p50 %v  p90 %v  p99 %v  p999 %v  max %v\n",
 		ns(hist.Quantile(0.5)), ns(hist.Quantile(0.9)), ns(hist.Quantile(0.99)),
 		ns(hist.Quantile(0.999)), ns(hist.Max()))
 
+	name := "serve-" + *mode + "-" + *scheme
+	if *batch > 1 {
+		// A distinct entry name: a batched rerun must not clobber the
+		// single-query serving numbers (perf.MergeFile replaces by name).
+		name += fmt.Sprintf("-batch%d", *batch)
+	}
 	entries := []perf.Entry{{
-		Name:         "serve-" + *mode + "-" + *scheme,
+		Name:         name,
 		Topology:     *asFlag,
 		NsPerOp:      int64(hist.Mean()),
 		Cases:        int(total),
@@ -198,7 +218,7 @@ func main() {
 	}
 
 	if *benchOut != "" {
-		path, err := mergeBench(*benchOut, *asFlag, entries)
+		path, err := perf.MergeFile(*benchOut, entries)
 		if err != nil {
 			die(fmt.Errorf("bench-json: %v", err))
 		}
@@ -300,6 +320,39 @@ func doQuery(client *http.Client, base string, q serve.Query) bool {
 	return resp.StatusCode == http.StatusOK
 }
 
+// buildMix keeps the queries of one failure instance adjacent, so
+// folding runs of equal (topo, failure, scheme) into size-capped
+// batches recovers exactly the per-instance grouping.
+func buildBatches(mix []serve.Query, size int) []serve.Batch {
+	var out []serve.Batch
+	for _, q := range mix {
+		n := len(out)
+		if n == 0 || out[n-1].Topo != q.Topo || out[n-1].Failure != q.Failure ||
+			out[n-1].Scheme != q.Scheme || len(out[n-1].Pairs) >= size {
+			out = append(out, serve.Batch{Topo: q.Topo, Failure: q.Failure, Scheme: q.Scheme})
+			n++
+		}
+		out[n-1].Pairs = append(out[n-1].Pairs, serve.Pair{Src: q.Src, Dst: q.Dst})
+	}
+	return out
+}
+
+// doBatch fires one POST batch and fully drains the response; any
+// transport error or non-200 counts as a request error.
+func doBatch(client *http.Client, base string, b serve.Batch) bool {
+	body, err := json.Marshal(b)
+	if err != nil {
+		return false
+	}
+	resp, err := client.Post(base+"/recover", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
 func waitReady(client *http.Client, base string, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
@@ -332,10 +385,10 @@ func fetchStats(client *http.Client, base string) (serve.Stats, error) {
 }
 
 // runClosed runs the closed loop: conns workers, each sending its next
-// query the moment the previous answer lands. Latency is per-request
+// request the moment the previous answer lands. Latency is per-request
 // round trip; per-worker histograms merge after the run so the hot
 // path records into unshared memory.
-func runClosed(out *perf.Histogram, client *http.Client, base string, mix []serve.Query, conns int, d time.Duration) (total, errs int64, elapsed time.Duration) {
+func runClosed(out *perf.Histogram, fire func(i int) bool, conns int, d time.Duration) (total, errs int64, elapsed time.Duration) {
 	hists := make([]perf.Histogram, conns)
 	var wg sync.WaitGroup
 	var errCount atomic.Int64
@@ -350,7 +403,7 @@ func runClosed(out *perf.Histogram, client *http.Client, base string, mix []serv
 			// failure instances instead of stampeding one entry.
 			for i := wk * 7; time.Now().Before(deadline); i++ {
 				t0 := time.Now()
-				if !doQuery(client, base, mix[i%len(mix)]) {
+				if !fire(i) {
 					errCount.Add(1)
 				}
 				h.Record(time.Since(t0).Nanoseconds())
@@ -365,12 +418,12 @@ func runClosed(out *perf.Histogram, client *http.Client, base string, mix []serv
 	return out.Count(), errCount.Load(), elapsed
 }
 
-// runOpen runs the open loop: queries depart on a fixed schedule
+// runOpen runs the open loop: requests depart on a fixed schedule
 // (rate/sec) regardless of completions, with at most conns in flight.
 // Latency is measured from the intended departure time, so queueing
 // behind a saturated server shows up in the tail instead of silently
 // slowing the offered load (the coordinated-omission fix).
-func runOpen(out *perf.Histogram, client *http.Client, base string, mix []serve.Query, conns int, rate float64, d time.Duration) (total, errs int64, elapsed time.Duration) {
+func runOpen(out *perf.Histogram, fire func(i int) bool, conns int, rate float64, d time.Duration) (total, errs int64, elapsed time.Duration) {
 	if rate <= 0 {
 		return 0, 0, 0
 	}
@@ -398,7 +451,7 @@ func runOpen(out *perf.Histogram, client *http.Client, base string, mix []serve.
 				if wait := time.Until(intended); wait > 0 {
 					time.Sleep(wait)
 				}
-				if !doQuery(client, base, mix[int(i)%len(mix)]) {
+				if !fire(int(i)) {
 					errCount.Add(1)
 				}
 				h.Record(time.Since(intended).Nanoseconds())
@@ -411,64 +464,4 @@ func runOpen(out *perf.Histogram, client *http.Client, base string, mix []serve.
 		out.Merge(&hists[i])
 	}
 	return out.Count(), errCount.Load(), elapsed
-}
-
-// mergeBench folds the serving entries into an existing BENCH_<date>
-// record (or starts a fresh one), replacing any previous entries with
-// the same (name, topology) so reruns update in place — a closed-loop
-// rerun does not clobber an earlier open-loop entry or vice versa. All
-// other entries are untouched and the record keeps the Recorder's sort
-// order (name, topology, procs).
-func mergeBench(path, topo string, entries []perf.Entry) (string, error) {
-	rec := perf.Record{
-		Date:      time.Now().Format("2006-01-02"),
-		GoVersion: runtime.Version(),
-		MaxProcs:  runtime.GOMAXPROCS(0),
-	}
-	out := path
-	if out == "" {
-		out = "."
-	}
-	if !strings.HasSuffix(out, ".json") {
-		out = filepath.Join(out, "BENCH_"+rec.Date+".json")
-	}
-	if data, err := os.ReadFile(out); err == nil {
-		if err := json.Unmarshal(data, &rec); err != nil {
-			return "", fmt.Errorf("existing %s: %w", out, err)
-		}
-		replaced := make(map[string]bool, len(entries))
-		for _, e := range entries {
-			replaced[e.Name+"\x00"+e.Topology] = true
-		}
-		kept := rec.Entries[:0]
-		for _, e := range rec.Entries {
-			if replaced[e.Name+"\x00"+e.Topology] {
-				continue
-			}
-			kept = append(kept, e)
-		}
-		rec.Entries = kept
-	} else if !os.IsNotExist(err) {
-		return "", err
-	}
-	rec.Entries = append(rec.Entries, entries...)
-	sort.SliceStable(rec.Entries, func(i, j int) bool {
-		if rec.Entries[i].Name != rec.Entries[j].Name {
-			return rec.Entries[i].Name < rec.Entries[j].Name
-		}
-		if rec.Entries[i].Topology != rec.Entries[j].Topology {
-			return rec.Entries[i].Topology < rec.Entries[j].Topology
-		}
-		return rec.Entries[i].Procs < rec.Entries[j].Procs
-	})
-	data, err := json.MarshalIndent(rec, "", "  ")
-	if err != nil {
-		return "", err
-	}
-	if dir := filepath.Dir(out); dir != "." {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return "", err
-		}
-	}
-	return out, os.WriteFile(out, append(data, '\n'), 0o644)
 }

@@ -1,6 +1,6 @@
 // Package graph implements the undirected network graph substrate used
 // throughout the repository: routers are nodes, links are undirected
-// edges with stable 16-bit identifiers and (possibly asymmetric)
+// edges with stable 32-bit identifiers and (possibly asymmetric)
 // per-direction costs, as in the paper's network model.
 //
 // The graph is append-only: links are added during construction and
@@ -14,19 +14,25 @@ import (
 	"math"
 )
 
-// NodeID identifies a router. The paper encodes identifiers in 16 bits;
-// all Rocketfuel-scale topologies fit comfortably.
-type NodeID uint16
+// NodeID identifies a router. In-memory identifiers are 32 bits so
+// that synthesized city/continent-scale topologies (10^5 nodes and
+// beyond) are representable; the paper's 16-bit on-the-wire header
+// encoding is enforced separately by the routing codec.
+type NodeID uint32
 
-// LinkID identifies an undirected link. The paper's packet header
-// represents link IDs in 16 bits.
-type LinkID uint16
+// LinkID identifies an undirected link. Like NodeID it is 32 bits in
+// memory; the packet header's 16-bit wire representation is a codec
+// concern, not a graph limit.
+type LinkID uint32
 
-// MaxNodes is the maximum number of nodes a Graph can hold.
-const MaxNodes = math.MaxUint16
+// MaxNodes is the maximum number of nodes a Graph can hold. Capped at
+// MaxInt32 (not MaxUint32) so IDs always fit in the int32 parent /
+// parent-link arrays used by the SPT layer, where -1 is a sentinel.
+const MaxNodes = math.MaxInt32
 
-// MaxLinks is the maximum number of links a Graph can hold.
-const MaxLinks = math.MaxUint16
+// MaxLinks is the maximum number of links a Graph can hold; capped at
+// MaxInt32 for the same sentinel reason as MaxNodes.
+const MaxLinks = math.MaxInt32
 
 // Link is an undirected link between routers A and B. CostAB is the
 // cost of traversing the link from A to B and CostBA the reverse cost;
@@ -93,20 +99,34 @@ type Graph struct {
 var (
 	ErrNodeOutOfRange = errors.New("graph: node out of range")
 	ErrSelfLoop       = errors.New("graph: self loops are not allowed")
+	ErrTooManyNodes   = errors.New("graph: too many nodes")
 	ErrTooManyLinks   = errors.New("graph: too many links")
 	ErrBadCost        = errors.New("graph: link cost must be positive and finite")
 )
 
-// New returns an empty graph with n nodes and no links.
-// It panics if n is negative or exceeds MaxNodes.
-func New(n int) *Graph {
+// WithNodes returns an empty graph with n nodes and no links. Unlike
+// New it reports capacity violations as errors rather than panicking,
+// so callers constructing graphs from external input (codecs,
+// generators) can propagate a descriptive failure.
+func WithNodes(n int) (*Graph, error) {
 	if n < 0 || n > MaxNodes {
-		panic(fmt.Sprintf("graph: invalid node count %d", n))
+		return nil, fmt.Errorf("%w: %d nodes (capacity %d)", ErrTooManyNodes, n, MaxNodes)
 	}
 	return &Graph{
 		n:   n,
 		adj: make([][]Halfedge, n),
+	}, nil
+}
+
+// New returns an empty graph with n nodes and no links.
+// It panics if n is negative or exceeds MaxNodes; use WithNodes to get
+// an error instead.
+func New(n int) *Graph {
+	g, err := WithNodes(n)
+	if err != nil {
+		panic(err)
 	}
+	return g
 }
 
 // AddLink adds an undirected link between a and b with unit cost in
@@ -129,7 +149,7 @@ func (g *Graph) AddLinkCost(a, b NodeID, costAB, costBA float64) (LinkID, error)
 		return 0, fmt.Errorf("%w: (%g,%g)", ErrBadCost, costAB, costBA)
 	}
 	if len(g.links) >= MaxLinks {
-		return 0, ErrTooManyLinks
+		return 0, fmt.Errorf("%w: %d links (capacity %d, %d nodes)", ErrTooManyLinks, len(g.links), MaxLinks, g.n)
 	}
 	id := LinkID(len(g.links))
 	g.links = append(g.links, Link{ID: id, A: a, B: b, CostAB: costAB, CostBA: costBA})

@@ -3,6 +3,7 @@ package graph
 import (
 	"errors"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -36,6 +37,43 @@ func TestNewPanicsOnBadCount(t *testing.T) {
 		}
 	}()
 	New(-1)
+}
+
+func TestWithNodes(t *testing.T) {
+	g, err := WithNodes(7)
+	if err != nil {
+		t.Fatalf("WithNodes(7): %v", err)
+	}
+	if g.NumNodes() != 7 {
+		t.Errorf("NumNodes = %d, want 7", g.NumNodes())
+	}
+	if _, err := WithNodes(-1); !errors.Is(err, ErrTooManyNodes) {
+		t.Errorf("WithNodes(-1) error = %v, want ErrTooManyNodes", err)
+	}
+	if _, err := WithNodes(MaxNodes + 1); !errors.Is(err, ErrTooManyNodes) {
+		t.Errorf("WithNodes(MaxNodes+1) error = %v, want ErrTooManyNodes", err)
+	}
+	if _, err := WithNodes(MaxNodes + 1); err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Errorf("capacity error must name the limit, got %v", err)
+	}
+}
+
+func TestWideIDs(t *testing.T) {
+	// IDs past the old 16-bit ceiling must round-trip through the
+	// adjacency structures unchanged.
+	const n = 70000
+	g := New(n)
+	id, err := g.AddLink(65535, 69999)
+	if err != nil {
+		t.Fatalf("AddLink wide: %v", err)
+	}
+	l := g.Link(id)
+	if l.A != 65535 || l.B != 69999 {
+		t.Errorf("wide link endpoints = (%d,%d)", l.A, l.B)
+	}
+	if got, ok := g.LinkBetween(69999, 65535); !ok || got != id {
+		t.Errorf("LinkBetween wide = (%d,%v)", got, ok)
+	}
 }
 
 func TestAddLink(t *testing.T) {

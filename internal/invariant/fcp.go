@@ -93,7 +93,10 @@ func (k *Checker) CheckFCP(c *sim.Case, res fcp.Result) []Violation {
 				"delivered, but the trajectory does not end at destination %d", c.Dst))
 			return vs
 		}
-		truth := oracleDists(g, c.Initiator, c.Scenario)
+		truth, oracle := k.oracle(c.Initiator, c.Scenario)
+		if !oracle {
+			return vs
+		}
 		if truth[c.Dst] == inf {
 			vs = append(vs, k.violation(c, "truth/delivered-irrecoverable",
 				"delivered, but ground truth has no post-failure path"))
@@ -114,8 +117,7 @@ func (k *Checker) CheckFCP(c *sim.Case, res fcp.Result) []Violation {
 	// pruned view (pre-failure graph minus every carried failure) has no
 	// path. Carried failures are all real, so this also proves the
 	// destination is truly unreachable from the dropping router.
-	dist := oracleDists(g, res.DropAt, carried)
-	if dist[c.Dst] < inf {
+	if dist, oracle := k.oracle(res.DropAt, carried); oracle && dist[c.Dst] < inf {
 		vs = append(vs, k.violation(c, "fcp/drop-premature",
 			"dropped at %d, but its pruned view still has a path of cost %g", res.DropAt, dist[c.Dst]))
 	}

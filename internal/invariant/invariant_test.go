@@ -151,3 +151,45 @@ func contains(s, sub string) bool {
 	}
 	return false
 }
+
+// TestOracleGate: past MaxOracleNodes the quadratic oracle checks are
+// skipped (with exactly one logged notice), the structural checks
+// still run clean, and a negative gate forces the oracle back on.
+func TestOracleGate(t *testing.T) {
+	w := worldFor(t, "AS1239")
+	rng := rand.New(rand.NewSource(11))
+	sc := failure.Default().Generate(w.Topo, rng)
+	rec, irr := sim.CasesFromScenario(w, sc)
+	cases := append(rec, irr...)
+	if len(cases) == 0 {
+		t.Skip("scenario produced no cases")
+	}
+
+	var logs []string
+	k := New(w)
+	k.MaxOracleNodes = 1 // well below AS1239's 52 nodes
+	k.Log = func(msg string) { logs = append(logs, msg) }
+	if k.OracleEnabled() {
+		t.Fatal("oracle must be gated off below the node count")
+	}
+	if err := k.CheckCases(cases); err != nil {
+		t.Fatalf("structural checks failed with oracle gated: %v", err)
+	}
+	if len(logs) != 1 {
+		t.Fatalf("oracle skip logged %d times, want exactly once: %v", len(logs), logs)
+	}
+	for _, want := range []string{"AS1239", "rtr/theorem2", "skipped"} {
+		if !contains(logs[0], want) {
+			t.Errorf("skip notice %q missing %q", logs[0], want)
+		}
+	}
+
+	forced := New(w)
+	forced.MaxOracleNodes = -1
+	if !forced.OracleEnabled() {
+		t.Fatal("negative gate must force the oracle on")
+	}
+	if err := forced.CheckCases(cases); err != nil {
+		t.Fatalf("forced-oracle checks failed: %v", err)
+	}
+}

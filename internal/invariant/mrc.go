@@ -115,7 +115,10 @@ func (k *Checker) CheckMRC(c *sim.Case, res mrc.Result) []Violation {
 				"delivered, but the trajectory does not end at destination %d", c.Dst))
 			return vs
 		}
-		truth := oracleDists(g, c.Initiator, c.Scenario)
+		truth, oracle := k.oracle(c.Initiator, c.Scenario)
+		if !oracle {
+			return vs
+		}
 		if truth[c.Dst] == inf {
 			vs = append(vs, k.violation(c, "truth/delivered-irrecoverable",
 				"delivered, but ground truth has no post-failure path"))

@@ -265,10 +265,10 @@ func (k *Checker) CheckRecoveryPath(c *sim.Case, col *core.CollectResult, rt cor
 	var vs []Violation
 	g := k.W.Topo.G
 	pruned := newLinkSet(col.Header.FailedLinks, c.LV.UnreachableLinks(c.Initiator))
-	dist := oracleDists(g, c.Initiator, pruned)
+	dist, oracle := k.oracle(c.Initiator, pruned)
 
 	if !ok {
-		if dist[c.Dst] < inf {
+		if oracle && dist[c.Dst] < inf {
 			vs = append(vs, k.violation(c, "rtr/early-discard-wrong",
 				"destination discarded as unreachable, but the pruned view has a path of cost %g", dist[c.Dst]))
 		}
@@ -305,6 +305,9 @@ func (k *Checker) CheckRecoveryPath(c *sim.Case, col *core.CollectResult, rt cor
 	if !costEqual(cost, rt.Cost) {
 		vs = append(vs, k.violation(c, "rtr/route-cost",
 			"route cost %g but links sum to %g", rt.Cost, cost))
+	}
+	if !oracle {
+		return vs
 	}
 	if dist[c.Dst] == inf {
 		vs = append(vs, k.violation(c, "rtr/route-unreachable",
@@ -356,7 +359,10 @@ func (k *Checker) CheckRTRForward(c *sim.Case, rt core.Route, fwd core.ForwardRe
 				"delivered trajectory traverses link %d, failed in ground truth", l))
 		}
 	}
-	truth := oracleDists(g, c.Initiator, c.Scenario)
+	truth, oracle := k.oracle(c.Initiator, c.Scenario)
+	if !oracle {
+		return vs
+	}
 	if truth[c.Dst] == inf {
 		vs = append(vs, k.violation(c, "truth/delivered-irrecoverable",
 			"delivered, but ground truth has no post-failure path"))

@@ -34,6 +34,11 @@ type Entry struct {
 	// AllocsPerOp is the number of heap allocations the phase made
 	// (0 when not measured).
 	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
+	// BytesPerOp is the total heap bytes the phase allocated (the
+	// TotalAlloc delta across it; 0 when not measured). At 10^5 nodes
+	// the allocation volume, not the count, is what evicts the working
+	// set — a phase can hold allocs/op flat while ballooning each one.
+	BytesPerOp int64 `json:"bytes_per_op,omitempty"`
 	// Procs is the GOMAXPROCS the phase ran under, when it differs from
 	// the record-level setting (Measure emits serial and parallel
 	// variants of the same phase side by side).
@@ -103,9 +108,9 @@ func (r *Recorder) Time(name, topology string, cases int, fn func()) {
 // procs <= 0), recording wall time and heap allocations. Callers use
 // it to emit serial (procs=1) and parallel (procs=NumCPU) variants of
 // the same phase side by side, so speedups from parallel fan-out are
-// visible in the trajectory. The allocation count is the global
-// mallocs delta across fn — callers should keep the process otherwise
-// quiet during measurement.
+// visible in the trajectory. The allocation count and byte volume are
+// the global mallocs/TotalAlloc deltas across fn — callers should keep
+// the process otherwise quiet during measurement.
 func (r *Recorder) Measure(name, topology string, procs int, fn func()) {
 	prev := -1
 	if procs > 0 {
@@ -125,6 +130,7 @@ func (r *Recorder) Measure(name, topology string, procs int, fn func()) {
 		Topology:    topology,
 		NsPerOp:     d.Nanoseconds(),
 		AllocsPerOp: int64(after.Mallocs - before.Mallocs),
+		BytesPerOp:  int64(after.TotalAlloc - before.TotalAlloc),
 		Procs:       procs,
 	}
 	r.mu.Lock()
@@ -153,6 +159,68 @@ func (r *Recorder) Record() Record {
 		MaxProcs:  runtime.GOMAXPROCS(0),
 		Entries:   entries,
 	}
+}
+
+// MergeFile folds entries into an existing BENCH_<date> record (or
+// starts a fresh one), replacing any previous entries with the same
+// (name, topology, procs) so reruns update in place — a tool that
+// contributes only its own entries never clobbers another tool's. All
+// other entries are untouched and the record keeps the canonical sort
+// order. Path rules match WriteFile (directory or "" names the file
+// BENCH_<date>.json; a .json path is used verbatim). Returns the path
+// written.
+func MergeFile(path string, entries []Entry) (string, error) {
+	rec := Record{
+		Date:      time.Now().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		MaxProcs:  runtime.GOMAXPROCS(0),
+	}
+	out := path
+	if out == "" {
+		out = "."
+	}
+	if !strings.HasSuffix(out, ".json") {
+		out = filepath.Join(out, fmt.Sprintf("BENCH_%s.json", rec.Date))
+	}
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return "", fmt.Errorf("existing %s: %w", out, err)
+		}
+		replaced := make(map[[2]string]bool, len(entries))
+		for _, e := range entries {
+			replaced[[2]string{e.Name, e.Topology + "\x00" + fmt.Sprint(e.Procs)}] = true
+		}
+		kept := rec.Entries[:0]
+		for _, e := range rec.Entries {
+			if replaced[[2]string{e.Name, e.Topology + "\x00" + fmt.Sprint(e.Procs)}] {
+				continue
+			}
+			kept = append(kept, e)
+		}
+		rec.Entries = kept
+	} else if !os.IsNotExist(err) {
+		return "", err
+	}
+	rec.Entries = append(rec.Entries, entries...)
+	sort.SliceStable(rec.Entries, func(i, j int) bool {
+		if rec.Entries[i].Name != rec.Entries[j].Name {
+			return rec.Entries[i].Name < rec.Entries[j].Name
+		}
+		if rec.Entries[i].Topology != rec.Entries[j].Topology {
+			return rec.Entries[i].Topology < rec.Entries[j].Topology
+		}
+		return rec.Entries[i].Procs < rec.Entries[j].Procs
+	})
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if dir := filepath.Dir(out); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return "", err
+		}
+	}
+	return out, os.WriteFile(out, append(data, '\n'), 0o644)
 }
 
 // WriteFile writes the record as indented JSON. When path is a

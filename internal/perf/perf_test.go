@@ -48,6 +48,24 @@ func TestRecorderRoundTrip(t *testing.T) {
 	}
 }
 
+func TestMeasureRecordsAllocs(t *testing.T) {
+	r := NewRecorder()
+	var sink [][]byte
+	r.Measure("alloc-phase", "", 1, func() {
+		for i := 0; i < 64; i++ {
+			sink = append(sink, make([]byte, 4096))
+		}
+	})
+	_ = sink
+	e := r.Record().Entries[0]
+	if e.AllocsPerOp < 64 {
+		t.Errorf("AllocsPerOp = %d, want >= 64", e.AllocsPerOp)
+	}
+	if e.BytesPerOp < 64*4096 {
+		t.Errorf("BytesPerOp = %d, want >= %d", e.BytesPerOp, 64*4096)
+	}
+}
+
 func TestWriteFileExplicitJSONPath(t *testing.T) {
 	r := NewRecorder()
 	r.Observe("x", "", time.Millisecond, 0)

@@ -121,6 +121,12 @@ func (h *Header) EncodedSize() int {
 //	nCross   uint16, then nCross x uint16
 //	nRoute   uint16, srcIdx uint16, then nRoute x uint16
 
+// ErrIDOverflow is returned when an in-memory 32-bit node or link ID
+// does not fit the paper's 16-bit wire fields. Topologies past the
+// 65535-ID ceiling can be simulated but their headers cannot be
+// serialized in the paper's format.
+var ErrIDOverflow = errors.New("routing: ID exceeds 16-bit wire field")
+
 // AppendBinary appends the wire encoding of h to b.
 func (h *Header) AppendBinary(b []byte) ([]byte, error) {
 	if len(h.FailedLinks) > 0xFFFF || len(h.CrossLinks) > 0xFFFF || len(h.SourceRoute) > 0xFFFF {
@@ -129,19 +135,31 @@ func (h *Header) AppendBinary(b []byte) ([]byte, error) {
 	if h.SourceIdx < 0 || h.SourceIdx > len(h.SourceRoute) {
 		return nil, fmt.Errorf("routing: source index %d out of range [0,%d]", h.SourceIdx, len(h.SourceRoute))
 	}
+	if h.RecInit > 0xFFFF {
+		return nil, fmt.Errorf("%w: rec_init node %d", ErrIDOverflow, h.RecInit)
+	}
 	b = append(b, byte(h.Mode))
 	b = binary.BigEndian.AppendUint16(b, uint16(h.RecInit))
 	b = binary.BigEndian.AppendUint16(b, uint16(len(h.FailedLinks)))
 	for _, id := range h.FailedLinks {
+		if id > 0xFFFF {
+			return nil, fmt.Errorf("%w: failed_link %d", ErrIDOverflow, id)
+		}
 		b = binary.BigEndian.AppendUint16(b, uint16(id))
 	}
 	b = binary.BigEndian.AppendUint16(b, uint16(len(h.CrossLinks)))
 	for _, id := range h.CrossLinks {
+		if id > 0xFFFF {
+			return nil, fmt.Errorf("%w: cross_link %d", ErrIDOverflow, id)
+		}
 		b = binary.BigEndian.AppendUint16(b, uint16(id))
 	}
 	b = binary.BigEndian.AppendUint16(b, uint16(len(h.SourceRoute)))
 	b = binary.BigEndian.AppendUint16(b, uint16(h.SourceIdx))
 	for _, id := range h.SourceRoute {
+		if id > 0xFFFF {
+			return nil, fmt.Errorf("%w: source-route node %d", ErrIDOverflow, id)
+		}
 		b = binary.BigEndian.AppendUint16(b, uint16(id))
 	}
 	return b, nil

@@ -1,6 +1,7 @@
 package routing
 
 import (
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -207,6 +208,36 @@ func TestAppendBinarySourceIdxValidation(t *testing.T) {
 	h.SourceIdx = -1
 	if _, err := h.AppendBinary(nil); err == nil {
 		t.Error("negative SourceIdx must fail to encode")
+	}
+}
+
+func TestAppendBinaryIDOverflow(t *testing.T) {
+	// In-memory IDs are 32-bit but the paper's wire format is 16-bit;
+	// encoding a header whose IDs exceed the wire ceiling must fail
+	// with ErrIDOverflow rather than truncate silently.
+	cases := []Header{
+		{RecInit: 0x10000},
+		{FailedLinks: []graph.LinkID{0x10000}},
+		{CrossLinks: []graph.LinkID{0x1FFFF}},
+		{SourceRoute: []graph.NodeID{0x20000}},
+	}
+	for i, h := range cases {
+		if _, err := h.AppendBinary(nil); !errors.Is(err, ErrIDOverflow) {
+			t.Errorf("case %d: err = %v, want ErrIDOverflow", i, err)
+		}
+	}
+	// At exactly the ceiling the encode must still round-trip.
+	h := Header{RecInit: 0xFFFF, FailedLinks: []graph.LinkID{0xFFFF}}
+	b, err := h.AppendBinary(nil)
+	if err != nil {
+		t.Fatalf("ceiling encode: %v", err)
+	}
+	got, _, err := DecodeHeader(b)
+	if err != nil {
+		t.Fatalf("ceiling decode: %v", err)
+	}
+	if got.RecInit != 0xFFFF || got.FailedLinks[0] != 0xFFFF {
+		t.Errorf("ceiling round-trip = %+v", got)
 	}
 }
 

@@ -2,6 +2,7 @@ package routing
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/par"
@@ -17,10 +18,27 @@ import (
 // Tables represent the PRE-FAILURE state: during IGP convergence
 // routers keep forwarding with these tables, which is exactly the
 // window RTR operates in.
+//
+// Tables come in two construction modes. The eager constructors build
+// every destination's reverse tree up front (right for sweeps over
+// Rocketfuel-scale maps, where all destinations get touched anyway).
+// The lazy constructors defer each destination's tree until first use:
+// on a 10^5-node graph the full table is ~10^5 trees x ~10^5 entries
+// (tens of GB), while a serving workload touches a handful of
+// destinations — lazy tables bound memory by destinations actually
+// queried. Both modes produce bit-identical trees; laziness is purely
+// a materialization strategy, and every accessor works on either.
 type Tables struct {
 	topo  *topology.Topology
 	under graph.Denied // the failure overlay the tables converged on
-	byDst []*spt.Tree  // reverse tree per destination
+	byDst []*spt.Tree  // reverse tree per destination; nil slots lazy
+
+	// Lazy mode (lazyOnce non-nil): tree(dst) materializes byDst[dst]
+	// on first use — from seed's tree via the delete-only incremental
+	// recompute when seed is set, via a cold build otherwise.
+	lazyOnce []sync.Once
+	seed     *Tables      // tables to warm-start from, or nil
+	delta    graph.Denied // failures new relative to seed.under
 }
 
 // ComputeTables computes converged routing tables for topo.
@@ -40,6 +58,39 @@ func ComputeTablesUnder(topo *topology.Topology, d graph.Denied) *Tables {
 		t.byDst[dst] = spt.ComputeReverse(topo.G, graph.NodeID(dst), d)
 	})
 	return t
+}
+
+// ComputeTablesLazy returns tables over topo under d whose per-
+// destination trees are built on first use (safe for concurrent use).
+// Results are bit-identical to ComputeTablesUnder; memory is bounded
+// by the number of distinct destinations queried.
+func ComputeTablesLazy(topo *topology.Topology, d graph.Denied) *Tables {
+	n := topo.G.NumNodes()
+	return &Tables{
+		topo: topo, under: d,
+		byDst:    make([]*spt.Tree, n),
+		lazyOnce: make([]sync.Once, n),
+	}
+}
+
+// Lazy reports whether t materializes destination trees on demand.
+func (t *Tables) Lazy() bool { return t.lazyOnce != nil }
+
+// tree returns dst's reverse tree, materializing it first in lazy
+// mode. Concurrent callers block on the same sync.Once, so each tree
+// is built exactly once.
+func (t *Tables) tree(dst graph.NodeID) *spt.Tree {
+	if t.lazyOnce == nil {
+		return t.byDst[dst]
+	}
+	t.lazyOnce[dst].Do(func() {
+		if t.seed != nil {
+			t.byDst[dst] = spt.Recompute(t.topo.G, t.seed.tree(dst), t.seed.under, t.delta)
+		} else {
+			t.byDst[dst] = spt.ComputeReverse(t.topo.G, dst, t.under)
+		}
+	})
+	return t.byDst[dst]
 }
 
 // RecomputeTablesUnder computes the converged tables under the
@@ -62,9 +113,22 @@ func RecomputeTablesUnder(topo *topology.Topology, pre *Tables, d graph.Denied) 
 		under = graph.Union{X: pre.under, Y: d}
 	}
 	n := topo.G.NumNodes()
+	if pre.Lazy() {
+		// A lazy pre means the caller is bounding memory by queried
+		// destinations; the recomputed tables inherit that, deferring
+		// each destination's incremental update until first use (and
+		// materializing the seed tree it updates from on demand).
+		return &Tables{
+			topo: topo, under: under,
+			byDst:    make([]*spt.Tree, n),
+			lazyOnce: make([]sync.Once, n),
+			seed:     pre,
+			delta:    d,
+		}
+	}
 	t := &Tables{topo: topo, under: under, byDst: make([]*spt.Tree, n)}
 	par.For(n, 0, func(dst int) {
-		t.byDst[dst] = spt.Recompute(topo.G, pre.byDst[dst], pre.under, d)
+		t.byDst[dst] = spt.Recompute(topo.G, pre.tree(graph.NodeID(dst)), pre.under, d)
 	})
 	return t
 }
@@ -80,7 +144,7 @@ func (t *Tables) Under() graph.Denied { return t.under }
 // ok is false when v is the destination itself or dst is unreachable
 // in the converged (pre-failure) topology.
 func (t *Tables) NextHop(v, dst graph.NodeID) (nh graph.NodeID, link graph.LinkID, ok bool) {
-	tree := t.byDst[dst]
+	tree := t.tree(dst)
 	p, ok := tree.NextHop(v)
 	if !ok {
 		return 0, 0, false
@@ -90,28 +154,28 @@ func (t *Tables) NextHop(v, dst graph.NodeID) (nh graph.NodeID, link graph.LinkI
 
 // Dist returns the converged path cost from v to dst.
 func (t *Tables) Dist(v, dst graph.NodeID) (float64, bool) {
-	return t.byDst[dst].CostTo(v)
+	return t.tree(dst).CostTo(v)
 }
 
 // Hops returns the number of links on the converged path from v to dst.
 func (t *Tables) Hops(v, dst graph.NodeID) (int, bool) {
-	return t.byDst[dst].Hops(v)
+	return t.tree(dst).Hops(v)
 }
 
 // PathNodes returns the converged routing path from v to dst, v first.
 func (t *Tables) PathNodes(v, dst graph.NodeID) ([]graph.NodeID, bool) {
-	return t.byDst[dst].PathNodes(v)
+	return t.tree(dst).PathNodes(v)
 }
 
 // PathLinks returns the links of the converged routing path from v to
 // dst in travel order.
 func (t *Tables) PathLinks(v, dst graph.NodeID) ([]graph.LinkID, bool) {
-	return t.byDst[dst].PathLinks(v)
+	return t.tree(dst).PathLinks(v)
 }
 
 // DestTree returns the reverse shortest-path tree for dst. The tree is
 // shared; callers must not modify it.
-func (t *Tables) DestTree(dst graph.NodeID) *spt.Tree { return t.byDst[dst] }
+func (t *Tables) DestTree(dst graph.NodeID) *spt.Tree { return t.tree(dst) }
 
 // PathFails reports whether the converged routing path from src to dst
 // contains a failed node or link under d (the paper's definition of a

@@ -2,6 +2,7 @@ package routing
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -204,7 +205,7 @@ func requireTablesIdentical(t *testing.T, as, label string, got, want *Tables) {
 	t.Helper()
 	n := want.topo.G.NumNodes()
 	for dst := 0; dst < n; dst++ {
-		g, w := got.byDst[dst], want.byDst[dst]
+		g, w := got.tree(graph.NodeID(dst)), want.tree(graph.NodeID(dst))
 		if g.Kind != w.Kind || g.Root != w.Root {
 			t.Fatalf("%s %s: tree %d identity mismatch", as, label, dst)
 		}
@@ -292,6 +293,89 @@ func TestTablesUnder(t *testing.T) {
 		t.Fatal("recomputed tables from clean pre must report the scenario itself")
 	}
 	var _ *spt.Tree = inc.DestTree(0) // DestTree stays usable on recomputed tables
+}
+
+// TestLazyTablesMatchEager: lazily materialized tables must be
+// bit-identical to the eager build — cold, recomputed from an eager
+// pre, recomputed from a lazy pre, and chained lazy-on-lazy.
+func TestLazyTablesMatchEager(t *testing.T) {
+	topo := topology.GenerateAS("AS1239", 1)
+	rng := rand.New(rand.NewSource(7))
+	sc := failure.RandomScenario(topo, rng)
+	for !sc.HasFailures() {
+		sc = failure.RandomScenario(topo, rng)
+	}
+
+	lazyClean := ComputeTablesLazy(topo, graph.Nothing)
+	if !lazyClean.Lazy() {
+		t.Fatal("ComputeTablesLazy must report Lazy")
+	}
+	eagerClean := ComputeTables(topo)
+	requireTablesIdentical(t, "AS1239", "lazy-clean", lazyClean, eagerClean)
+
+	lazyPost := RecomputeTablesUnder(topo, lazyClean, sc)
+	if !lazyPost.Lazy() {
+		t.Fatal("recompute from a lazy pre must stay lazy")
+	}
+	eagerPost := ComputeTablesUnder(topo, sc)
+	requireTablesIdentical(t, "AS1239", "lazy-post", lazyPost, eagerPost)
+
+	sc2 := failure.RandomScenario(topo, rng)
+	for !sc2.HasFailures() {
+		sc2 = failure.RandomScenario(topo, rng)
+	}
+	lazyChained := RecomputeTablesUnder(topo, lazyPost, sc2)
+	eagerChained := ComputeTablesUnder(topo, graph.Union{X: sc, Y: sc2})
+	requireTablesIdentical(t, "AS1239", "lazy-chained", lazyChained, eagerChained)
+}
+
+// TestLazyTablesConcurrent hammers one lazy table set from many
+// goroutines; materialization must be race-free and every answer must
+// match the eager build. Run under -race this is the real check.
+func TestLazyTablesConcurrent(t *testing.T) {
+	topo := topology.GenerateAS("AS701", 1)
+	lazy := ComputeTablesLazy(topo, graph.Nothing)
+	eager := ComputeTables(topo)
+	n := topo.G.NumNodes()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 200; i++ {
+				v := graph.NodeID(rng.Intn(n))
+				dst := graph.NodeID(rng.Intn(n))
+				gd, gok := lazy.Dist(v, dst)
+				wd, wok := eager.Dist(v, dst)
+				if gd != wd || gok != wok {
+					t.Errorf("Dist(%d,%d) = (%v,%v), want (%v,%v)", v, dst, gd, gok, wd, wok)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestLazyTablesBounded: a lazy table set must only materialize the
+// destinations that were actually queried.
+func TestLazyTablesBounded(t *testing.T) {
+	topo := topology.GenerateAS("AS7018", 1)
+	lazy := ComputeTablesLazy(topo, graph.Nothing)
+	lazy.Dist(3, 9)
+	lazy.Dist(4, 9)
+	lazy.NextHop(1, 12)
+	built := 0
+	for _, tr := range lazy.byDst {
+		if tr != nil {
+			built++
+		}
+	}
+	if built != 2 {
+		t.Fatalf("built %d trees, want 2 (dsts 9 and 12)", built)
+	}
 }
 
 func TestWalkAccounting(t *testing.T) {

@@ -11,6 +11,7 @@ import (
 //
 //	GET  /recover?topo=AS7018&failure=disk(1200,900,250)&src=3&dst=41[&scheme=rtr]
 //	POST /recover        {"topo": ..., "failure": ..., "src": 3, "dst": 41}
+//	POST /recover        {"topo": ..., "failure": ..., "pairs": [{"src":3,"dst":41}, ...]}
 //	GET  /healthz        liveness (200 once worlds are loaded)
 //	GET  /statsz         counter snapshot (cache hits/misses/evictions)
 //
@@ -43,26 +44,34 @@ func (e *Engine) handleRecover(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	case http.MethodPost:
-		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&q); err != nil {
+		var body struct {
+			Query
+			Pairs []Pair `json:"pairs"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&body); err != nil {
 			e.badRequest(w, "bad request body: "+err.Error())
 			return
 		}
+		// A pairs array makes the request a batch: one failure
+		// instance, one cache lookup, many (src, dst) answers.
+		if len(body.Pairs) > 0 {
+			resp, err := e.QueryBatch(Batch{
+				Topo:    body.Topo,
+				Failure: body.Failure,
+				Scheme:  body.Scheme,
+				Pairs:   body.Pairs,
+			})
+			writeResult(w, resp, err)
+			return
+		}
+		q = body.Query
 	default:
 		w.Header().Set("Allow", "GET, POST")
 		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "use GET or POST"})
 		return
 	}
 	resp, err := e.Query(q)
-	if err != nil {
-		var ce *ClientError
-		if errors.As(err, &ce) {
-			writeJSON(w, http.StatusBadRequest, map[string]string{"error": ce.Error()})
-		} else {
-			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
-		}
-		return
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeResult(w, resp, err)
 }
 
 func (e *Engine) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -79,6 +88,21 @@ func (e *Engine) handleStatsz(w http.ResponseWriter, _ *http.Request) {
 func (e *Engine) badRequest(w http.ResponseWriter, msg string) {
 	e.st.clientErrors.Add(1)
 	writeJSON(w, http.StatusBadRequest, map[string]string{"error": msg})
+}
+
+// writeResult writes a successful payload, a 400 for client mistakes,
+// or a 500 for server-side failures.
+func writeResult(w http.ResponseWriter, resp any, err error) {
+	if err != nil {
+		var ce *ClientError
+		if errors.As(err, &ce) {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": ce.Error()})
+		} else {
+			writeJSON(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -84,6 +84,58 @@ func TestHTTPRoundTrip(t *testing.T) {
 	}
 }
 
+// TestHTTPBatch proves the POST batch dispatch: a body with a pairs
+// array is answered as one BatchResponse identical to the in-process
+// QueryBatch answer, and an empty-pairs batch is a 400.
+func TestHTTPBatch(t *testing.T) {
+	e := testEngine(t, "AS1239", 4)
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	q := testCaseQuery(t, e, "AS1239")
+	b := Batch{Topo: q.Topo, Failure: q.Failure, Pairs: []Pair{{Src: q.Src, Dst: q.Dst}, {Src: q.Dst, Dst: q.Src}}}
+	want, err := e.QueryBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The direct batch warmed the cache; the transport replay is a hit.
+	want.CacheHit = true
+	for _, r := range want.Results {
+		r.CacheHit = true
+	}
+
+	body, _ := json.Marshal(b)
+	resp, err := http.Post(srv.URL+"/recover", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, raw)
+	}
+	var got BatchResponse
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("bad batch body %q: %v", raw, err)
+	}
+	if gotJSON, wantJSON := mustJSON(t, &got), mustJSON(t, want); gotJSON != wantJSON {
+		t.Errorf("transport batch differs from in-process batch:\n got  %s\n want %s", gotJSON, wantJSON)
+	}
+
+	empty, _ := json.Marshal(Batch{Topo: q.Topo, Failure: q.Failure, Pairs: []Pair{}})
+	eres, err := http.Post(srv.URL+"/recover", "application/json", bytes.NewReader(empty))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, eres.Body)
+	eres.Body.Close()
+	// No pairs means the body is a plain single query — with src ==
+	// dst == 0, a client error either way.
+	if eres.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty-pairs POST: status %d, want 400", eres.StatusCode)
+	}
+}
+
 // TestHTTPErrors pins the status-code contract: malformed requests
 // are 400 with a JSON error, wrong methods 405.
 func TestHTTPErrors(t *testing.T) {

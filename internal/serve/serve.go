@@ -78,6 +78,12 @@ type Config struct {
 	// costs when every query pays cold convergence — the baseline the
 	// warm-cache speedup is quoted against.
 	ColdConvergence bool
+	// Worlds, when non-empty, are served as-is under their map keys in
+	// addition to (and instead of, when Topos is empty) the synthesized
+	// Table II set. This is the scale path: load a binary snapshot,
+	// build a scale-mode world once, and serve it — the engine never
+	// synthesizes a 10^5-node topology itself.
+	Worlds map[string]*sim.World
 }
 
 // Engine answers recovery queries over a fixed set of worlds. Worlds
@@ -97,14 +103,17 @@ type Engine struct {
 // construction is the daemon's startup cost) and returns the engine.
 func New(cfg Config) (*Engine, error) {
 	names := cfg.Topos
-	if len(names) == 0 {
+	if len(names) == 0 && len(cfg.Worlds) == 0 {
 		names = topology.ASNames()
 	}
 	e := &Engine{
-		worlds: make(map[string]*sim.World, len(names)),
+		worlds: make(map[string]*sim.World, len(names)+len(cfg.Worlds)),
 		cache:  newLRU(cfg.CacheEntries),
 		check:  cfg.Check,
 		cold:   cfg.ColdConvergence,
+	}
+	for name, w := range cfg.Worlds {
+		e.worlds[name] = w
 	}
 	var (
 		mu       sync.Mutex
@@ -112,6 +121,9 @@ func New(cfg Config) (*Engine, error) {
 		firstErr error
 	)
 	for _, name := range names {
+		if _, ok := e.worlds[name]; ok {
+			continue // an injected world takes precedence over synthesis
+		}
 		wg.Add(1)
 		go func(name string) {
 			defer wg.Done()
@@ -223,32 +235,62 @@ func (e *Engine) query(q Query) (*Response, error) {
 	if w == nil {
 		return nil, badRequestf("unknown topology %q (serving %s)", q.Topo, strings.Join(e.names, ", "))
 	}
-	scheme := q.Scheme
+	scheme, err := checkScheme(w, q.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkPair(w, q.Topo, q.Src, q.Dst); err != nil {
+		return nil, err
+	}
+	en, hit, err := e.lookupEntry(w, q.Topo, q.Failure)
+	if err != nil {
+		return nil, err
+	}
+	return e.answerPair(w, q.Topo, en, hit, scheme, q.Src, q.Dst)
+}
+
+// checkScheme validates and defaults a query's scheme against the
+// world it will run on (mrc is a client error on scale-mode worlds,
+// which carry no MRC engine).
+func checkScheme(w *sim.World, scheme string) (string, error) {
 	if scheme == "" {
 		scheme = SchemeAll
 	}
 	switch scheme {
-	case SchemeRTR, SchemeFCP, SchemeMRC, SchemeAll:
+	case SchemeRTR, SchemeFCP, SchemeAll:
+	case SchemeMRC:
+		if !w.HasMRC() {
+			return "", badRequestf("scheme mrc unavailable on %s: scale-mode world carries no MRC engine (use rtr, fcp, or all)", w.Topo.Name)
+		}
 	default:
-		return nil, badRequestf("unknown scheme %q (want rtr, fcp, mrc, or all)", q.Scheme)
+		return "", badRequestf("unknown scheme %q (want rtr, fcp, mrc, or all)", scheme)
 	}
+	return scheme, nil
+}
+
+func checkPair(w *sim.World, topo string, src, dst int) error {
 	n := w.Topo.G.NumNodes()
-	if q.Src < 0 || q.Src >= n || q.Dst < 0 || q.Dst >= n {
-		return nil, badRequestf("pair (%d, %d) out of range on %s (%d nodes)", q.Src, q.Dst, q.Topo, n)
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return badRequestf("pair (%d, %d) out of range on %s (%d nodes)", src, dst, topo, n)
 	}
-	if q.Src == q.Dst {
-		return nil, badRequestf("source and destination are both %d", q.Src)
+	if src == dst {
+		return badRequestf("source and destination are both %d", src)
 	}
-	// Canonicalize the descriptor before the cache lookup: every
-	// spelling of the same instance (reordered terms, trailing zeros)
-	// maps to one fingerprint and therefore one cache entry.
-	sc, err := failure.ParseInstance(w.Topo, q.Failure)
+	return nil
+}
+
+// lookupEntry canonicalizes the failure descriptor, performs the one
+// converged-state cache lookup, and warms the entry — the unit of work
+// a batch amortizes over all its pairs. Every spelling of the same
+// instance (reordered terms, trailing zeros) maps to one fingerprint
+// and therefore one cache entry.
+func (e *Engine) lookupEntry(w *sim.World, topoName, failureDesc string) (*entry, bool, error) {
+	sc, err := failure.ParseInstance(w.Topo, failureDesc)
 	if err != nil {
-		return nil, &ClientError{Msg: err.Error()}
+		return nil, false, &ClientError{Msg: err.Error()}
 	}
 	fp := sc.Desc()
-
-	en, hit, evicted := e.cache.get(q.Topo+"\x00"+fp, func() *entry { return newEntry(q.Topo+"\x00"+fp, fp, sc) })
+	en, hit, evicted := e.cache.get(topoName+"\x00"+fp, func() *entry { return newEntry(topoName+"\x00"+fp, fp, sc) })
 	if hit {
 		e.st.hits.Add(1)
 	} else {
@@ -258,9 +300,15 @@ func (e *Engine) query(q Query) (*Response, error) {
 		e.st.evictions.Add(int64(evicted))
 	}
 	en.warm(w, e.cold)
+	return en, hit, nil
+}
 
-	resp := &Response{Topo: q.Topo, Failure: fp, Src: q.Src, Dst: q.Dst, Scheme: scheme, CacheHit: hit}
-	src, dst := graph.NodeID(q.Src), graph.NodeID(q.Dst)
+// answerPair answers one (src, dst) pair on a warmed entry. topoName
+// is the serving name (the worlds map key, which an injected world may
+// carry independently of its topology's own name).
+func (e *Engine) answerPair(w *sim.World, topoName string, en *entry, hit bool, scheme string, qsrc, qdst int) (*Response, error) {
+	resp := &Response{Topo: topoName, Failure: en.fp, Src: qsrc, Dst: qdst, Scheme: scheme, CacheHit: hit}
+	src, dst := graph.NodeID(qsrc), graph.NodeID(qdst)
 	if en.sc.NodeDown(src) {
 		resp.Disposition = DispInitiatorDown
 		return resp, nil
@@ -295,7 +343,7 @@ func (e *Engine) query(q Query) (*Response, error) {
 
 	truth := en.truthFor(w, src, e.cold)
 	out := sim.Outcome{Case: c, Truth: truth}
-	var firstErr error
+	var err, firstErr error
 	if scheme == SchemeAll || scheme == SchemeRTR {
 		if out.RTR, err = sim.RunRTR(w, c, truth); err != nil && firstErr == nil {
 			firstErr = err
@@ -325,6 +373,99 @@ func (e *Engine) query(q Query) (*Response, error) {
 	rec := out.Record()
 	resp.Case = &rec
 	return resp, nil
+}
+
+// Pair is one (src, dst) member of a batch.
+type Pair struct {
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+}
+
+// Batch asks many (src, dst) pairs against one failure descriptor on
+// one topology. The whole batch costs a single converged-state cache
+// lookup and at most one warm-up; per-pair work is only the tail
+// (next-hop probe, protocol runs for genuine recovery cases).
+type Batch struct {
+	Topo    string `json:"topo"`
+	Failure string `json:"failure"`
+	Scheme  string `json:"scheme,omitempty"`
+	Pairs   []Pair `json:"pairs"`
+}
+
+// MaxBatchPairs bounds one batch (a client wanting more splits it;
+// each split still usually hits the warm entry).
+const MaxBatchPairs = 4096
+
+// BatchResponse is the engine's answer to a Batch: one Response per
+// pair, in input order.
+type BatchResponse struct {
+	Topo    string `json:"topo"`
+	Failure string `json:"failure"`
+	Scheme  string `json:"scheme"`
+	// CacheHit reports whether the batch's one converged-state lookup
+	// was warm.
+	CacheHit bool        `json:"cache_hit,omitempty"`
+	Results  []*Response `json:"results"`
+}
+
+// QueryBatch answers a batch of pairs sharing one failure instance.
+// Safe for concurrent use. Each pair counts as one query in the stats;
+// the batch performs exactly one cache lookup.
+func (e *Engine) QueryBatch(b Batch) (*BatchResponse, error) {
+	e.st.batches.Add(1)
+	e.st.queries.Add(int64(len(b.Pairs)))
+	resp, err := e.queryBatch(b)
+	if err != nil {
+		var ce *ClientError
+		if errors.As(err, &ce) {
+			e.st.clientErrors.Add(1)
+		}
+		return nil, err
+	}
+	return resp, nil
+}
+
+func (e *Engine) queryBatch(b Batch) (*BatchResponse, error) {
+	if len(b.Pairs) == 0 {
+		return nil, badRequestf("batch carries no pairs")
+	}
+	if len(b.Pairs) > MaxBatchPairs {
+		return nil, badRequestf("batch carries %d pairs (limit %d)", len(b.Pairs), MaxBatchPairs)
+	}
+	w := e.worlds[b.Topo]
+	if w == nil {
+		return nil, badRequestf("unknown topology %q (serving %s)", b.Topo, strings.Join(e.names, ", "))
+	}
+	scheme, err := checkScheme(w, b.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	// Validate every pair before any work: a malformed batch is
+	// rejected whole rather than answered halfway.
+	for _, p := range b.Pairs {
+		if err := checkPair(w, b.Topo, p.Src, p.Dst); err != nil {
+			return nil, err
+		}
+	}
+	en, hit, err := e.lookupEntry(w, b.Topo, b.Failure)
+	if err != nil {
+		return nil, err
+	}
+	out := &BatchResponse{
+		Topo:     b.Topo,
+		Failure:  en.fp,
+		Scheme:   scheme,
+		CacheHit: hit,
+		Results:  make([]*Response, 0, len(b.Pairs)),
+	}
+	for _, p := range b.Pairs {
+		r, err := e.answerPair(w, b.Topo, en, hit, scheme, p.Src, p.Dst)
+		if err != nil {
+			return nil, err
+		}
+		out.Results = append(out.Results, r)
+	}
+	return out, nil
 }
 
 // fillConverged attaches the post-convergence route extras when the

@@ -264,6 +264,168 @@ func TestCacheKeyCanonicalization(t *testing.T) {
 	}
 }
 
+// TestBatchMatchesSingles proves the batch path is an amortization,
+// not a different answer: each batch result is byte-identical to the
+// corresponding single query (modulo the cache-hit flag), and the
+// whole batch costs exactly one converged-state lookup.
+func TestBatchMatchesSingles(t *testing.T) {
+	eb := testEngine(t, "AS1239", 8)
+	es := testEngine(t, "AS1239", 8)
+	w := eb.World("AS1239")
+	rng := rand.New(rand.NewSource(5))
+	var b Batch
+	for draws := 0; len(b.Pairs) == 0 && draws < sim.MaxCollectDraws; draws++ {
+		sc := failure.RandomScenario(w.Topo, rng)
+		rec, irr := sim.CasesFromScenario(w, sc)
+		cases := append(rec, irr...)
+		if len(cases) < 3 {
+			continue
+		}
+		if len(cases) > 6 {
+			cases = cases[:6]
+		}
+		b = Batch{Topo: "AS1239", Failure: sc.Desc()}
+		for _, c := range cases {
+			b.Pairs = append(b.Pairs, Pair{Src: int(c.Initiator), Dst: int(c.Dst)})
+		}
+	}
+	if len(b.Pairs) == 0 {
+		t.Fatal("no scenario with enough cases")
+	}
+
+	resp, err := eb.QueryBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.CacheHit {
+		t.Error("first batch reported a warm lookup")
+	}
+	if len(resp.Results) != len(b.Pairs) {
+		t.Fatalf("%d results for %d pairs", len(resp.Results), len(b.Pairs))
+	}
+	for i, p := range b.Pairs {
+		single, err := es.Query(Query{Topo: b.Topo, Failure: b.Failure, Src: p.Src, Dst: p.Dst})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := *resp.Results[i], *single
+		got.CacheHit, want.CacheHit = false, false
+		if mustJSON(t, &got) != mustJSON(t, &want) {
+			t.Errorf("pair %d differs:\n batch  %s\n single %s", i, mustJSON(t, &got), mustJSON(t, &want))
+		}
+	}
+
+	// Accounting: k queries, 1 batch, 1 lookup (a miss); an identical
+	// second batch is 1 more lookup (a hit) and comes back warm.
+	st := eb.Stats()
+	if st.Batches != 1 || st.Queries != int64(len(b.Pairs)) || st.CacheMisses != 1 || st.CacheHits != 0 {
+		t.Errorf("after one batch of %d pairs: %+v", len(b.Pairs), st)
+	}
+	again, err := eb.QueryBatch(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Error("repeated batch missed the cache")
+	}
+	if st := eb.Stats(); st.Batches != 2 || st.CacheMisses != 1 || st.CacheHits != 1 {
+		t.Errorf("after the repeated batch: %+v", st)
+	}
+}
+
+// TestBatchErrors covers the batch rejection classes; all are
+// ClientErrors and a malformed batch is rejected whole.
+func TestBatchErrors(t *testing.T) {
+	e := testEngine(t, "AS1239", 4)
+	n := e.World("AS1239").Topo.G.NumNodes()
+	big := make([]Pair, MaxBatchPairs+1)
+	for i := range big {
+		big[i] = Pair{Src: 0, Dst: 1}
+	}
+	bad := []Batch{
+		{Topo: "AS1239", Failure: "none"},
+		{Topo: "AS1239", Failure: "none", Pairs: big},
+		{Topo: "AS9999", Failure: "none", Pairs: []Pair{{Src: 0, Dst: 1}}},
+		{Topo: "AS1239", Failure: "garbage(", Pairs: []Pair{{Src: 0, Dst: 1}}},
+		{Topo: "AS1239", Failure: "none", Pairs: []Pair{{Src: 0, Dst: 1}, {Src: 0, Dst: n}}},
+		{Topo: "AS1239", Failure: "none", Pairs: []Pair{{Src: 2, Dst: 2}}},
+		{Topo: "AS1239", Failure: "none", Pairs: []Pair{{Src: 0, Dst: 1}}, Scheme: "ospf"},
+	}
+	for _, b := range bad {
+		if _, err := e.QueryBatch(b); err == nil {
+			t.Errorf("batch with %d pairs (%s/%s/%s) accepted", len(b.Pairs), b.Topo, b.Failure, b.Scheme)
+		} else if _, ok := err.(*ClientError); !ok {
+			t.Errorf("batch error %v is not a ClientError", err)
+		}
+	}
+	if st := e.Stats(); st.ClientErrors != int64(len(bad)) {
+		t.Errorf("client errors: counted %d, want %d", st.ClientErrors, len(bad))
+	}
+}
+
+// TestScaleWorldServing pins the scale serving path: an injected
+// pre-built scale-mode world (lazy tables, no MRC) is served under its
+// map key without any Table II synthesis, the mrc scheme is a client
+// error on it, and an all-scheme recovery answer marks the MRC
+// sub-record skipped while RTR and FCP answer normally.
+func TestScaleWorldServing(t *testing.T) {
+	ws, err := sim.NewWorldFromConfig(topology.PaperExample(), sim.WorldConfig{
+		Scale: true,
+		Log:   func(string) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(Config{Worlds: map[string]*sim.World{"scale-demo": ws}, CacheEntries: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Topologies(); len(got) != 1 || got[0] != "scale-demo" {
+		t.Fatalf("served topologies %v, want [scale-demo]", got)
+	}
+
+	if _, err := e.Query(Query{Topo: "scale-demo", Failure: "none", Src: 0, Dst: 1, Scheme: SchemeMRC}); err == nil {
+		t.Error("mrc scheme accepted on a world without MRC")
+	} else if _, ok := err.(*ClientError); !ok {
+		t.Errorf("mrc-unavailable error %v is not a ClientError", err)
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	served := 0
+	for draws := 0; served == 0 && draws < sim.MaxCollectDraws; draws++ {
+		sc := failure.RandomScenario(ws.Topo, rng)
+		rec, _ := sim.CasesFromScenario(ws, sc)
+		if len(rec) == 0 {
+			continue
+		}
+		b := Batch{Topo: "scale-demo", Failure: sc.Desc()}
+		for _, c := range rec {
+			b.Pairs = append(b.Pairs, Pair{Src: int(c.Initiator), Dst: int(c.Dst)})
+		}
+		resp, err := e.QueryBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range resp.Results {
+			if r.Disposition != DispRecovery || r.Case == nil {
+				t.Fatalf("pair %d served as %q", i, r.Disposition)
+			}
+			if !r.Case.MRC.Skipped {
+				t.Errorf("pair %d: MRC sub-record not marked skipped on a scale world", i)
+			}
+			// Recoverable cases still get RTR's Theorem 2 guarantee —
+			// scale mode drops MRC, never the paper's protocol.
+			if !r.Case.RTR.Recovered {
+				t.Errorf("pair %d: RTR failed to recover a recoverable case", i)
+			}
+		}
+		served = len(resp.Results)
+	}
+	if served == 0 {
+		t.Fatal("no recovery case served on the scale world")
+	}
+}
+
 // TestLRUEviction drives the engine past its capacity with distinct
 // instances and checks eviction accounting and recency order.
 func TestLRUEviction(t *testing.T) {

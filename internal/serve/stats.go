@@ -8,6 +8,7 @@ import "sync/atomic"
 // snapshots, which tolerates torn reads across counters).
 type stats struct {
 	queries      atomic.Int64
+	batches      atomic.Int64
 	hits         atomic.Int64
 	misses       atomic.Int64
 	evictions    atomic.Int64
@@ -22,8 +23,12 @@ type stats struct {
 // (only queries that reach the cache: eligible topology, parseable
 // failure instance); Evictions counts LRU entries dropped to capacity.
 type Stats struct {
-	// Queries counts every Query call, whatever its outcome.
+	// Queries counts every Query call, whatever its outcome. A batch
+	// counts one query per pair.
 	Queries int64 `json:"queries"`
+	// Batches counts QueryBatch calls (each is one cache lookup for
+	// all its pairs).
+	Batches int64 `json:"batches,omitempty"`
 	// CacheHits counts queries answered from a warm converged-state
 	// entry (including queries that waited on another request's
 	// in-flight warm-up rather than recomputing).
@@ -53,6 +58,7 @@ type Stats struct {
 func (e *Engine) Stats() Stats {
 	return Stats{
 		Queries:      e.st.queries.Load(),
+		Batches:      e.st.batches.Load(),
 		CacheHits:    e.st.hits.Load(),
 		CacheMisses:  e.st.misses.Load(),
 		Evictions:    e.st.evictions.Load(),

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math/rand"
+	"slices"
 
 	"repro/internal/failure"
 	"repro/internal/graph"
@@ -83,6 +84,142 @@ func CasesFromScenario(w *World, sc *failure.Scenario) (recoverable, irrecoverab
 		}
 	}
 	return recoverable, irrecoverable
+}
+
+// ScaleCasesFromScenario is the scale-mode case enumerator. The full
+// enumerator scans all n^2 (initiator, destination) pairs — hopeless
+// at 10^5 nodes, where it would also materialize every destination's
+// reverse tree. This one exploits that a qualifying initiator is, by
+// definition, adjacent to a failed element (its trigger link is failed
+// or leads to a failed node), so candidate initiators come straight
+// from the failure's adjacency — that set is exact, not a heuristic.
+// Destinations are the sampled part: dstSample of them drawn uniformly
+// from all nodes via rng (every node when dstSample <= 0 or >= n),
+// which bounds both the pair scan and the number of reverse trees a
+// lazy table world materializes.
+//
+// Initiators and sampled destinations are visited in ascending ID
+// order, so with a full destination sample the output is identical to
+// CasesFromScenario — the equivalence test asserts it.
+func ScaleCasesFromScenario(w *World, sc *failure.Scenario, rng *rand.Rand, dstSample int) (recoverable, irrecoverable []*Case) {
+	lv := routing.NewLocalView(w.Topo, sc)
+	n := w.Topo.G.NumNodes()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	for ci, c := range w.Topo.G.Components(sc) {
+		for _, v := range c {
+			comp[v] = ci
+		}
+	}
+	initiators := candidateInitiators(w, sc)
+	dsts := sampleDsts(n, dstSample, rng)
+	for _, initiator := range initiators {
+		for _, dst := range dsts {
+			if dst == initiator {
+				continue
+			}
+			nh, link, ok := w.Tables.NextHop(initiator, dst)
+			if !ok || !lv.NeighborUnreachable(initiator, link) {
+				continue
+			}
+			c := &Case{
+				Scenario:  sc,
+				LV:        lv,
+				Initiator: initiator,
+				Dst:       dst,
+				NextHop:   nh,
+				Trigger:   link,
+				Recoverable: !sc.NodeDown(dst) &&
+					comp[initiator] >= 0 && comp[initiator] == comp[dst],
+			}
+			if c.Recoverable {
+				recoverable = append(recoverable, c)
+			} else {
+				irrecoverable = append(irrecoverable, c)
+			}
+		}
+	}
+	return recoverable, irrecoverable
+}
+
+// candidateInitiators returns, in ascending order, every live node
+// adjacent to a failed element of sc — the exact set of nodes whose
+// converged next hop toward some destination can be unreachable
+// (NeighborUnreachable holds only for a failed incident link or a
+// failed direct neighbor).
+func candidateInitiators(w *World, sc *failure.Scenario) []graph.NodeID {
+	seen := make(map[graph.NodeID]bool)
+	add := func(v graph.NodeID) {
+		if !sc.NodeDown(v) {
+			seen[v] = true
+		}
+	}
+	for _, id := range sc.FailedLinks() {
+		l := w.Topo.G.Link(id)
+		add(l.A)
+		add(l.B)
+	}
+	for _, v := range sc.FailedNodes() {
+		for _, h := range w.Topo.G.Adj(v) {
+			add(h.Neighbor)
+		}
+	}
+	out := make([]graph.NodeID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// sampleDsts draws `want` distinct destinations uniformly from [0, n)
+// and returns them ascending; want <= 0 or >= n returns every node.
+// The draw sequence is a pure function of the rng stream, so sampled
+// sweeps stay deterministic per shard.
+func sampleDsts(n, want int, rng *rand.Rand) []graph.NodeID {
+	if want <= 0 || want >= n {
+		all := make([]graph.NodeID, n)
+		for i := range all {
+			all[i] = graph.NodeID(i)
+		}
+		return all
+	}
+	seen := make(map[graph.NodeID]bool, want)
+	out := make([]graph.NodeID, 0, want)
+	for len(out) < want {
+		v := graph.NodeID(rng.Intn(n))
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	slices.Sort(out)
+	return out
+}
+
+// CollectBothSampledG is CollectBothG through the scale-mode
+// enumerator: candidate initiators from failure adjacency, dstSample
+// sampled destinations per scenario.
+func CollectBothSampledG(w *World, g failure.Generator, rng *rand.Rand, wantRec, wantIrr, dstSample int) (rec, irr []*Case) {
+	for draws := 0; (len(rec) < wantRec || len(irr) < wantIrr) && draws < MaxCollectDraws; draws++ {
+		sc := g.Generate(w.Topo, rng)
+		r, i := ScaleCasesFromScenario(w, sc, rng, dstSample)
+		if len(rec) < wantRec {
+			rec = append(rec, r...)
+		}
+		if len(irr) < wantIrr {
+			irr = append(irr, i...)
+		}
+	}
+	if len(rec) > wantRec {
+		rec = rec[:wantRec]
+	}
+	if len(irr) > wantIrr {
+		irr = irr[:wantIrr]
+	}
+	return rec, irr
 }
 
 // MaxCollectDraws bounds how many random failure areas one collection

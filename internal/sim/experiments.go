@@ -87,8 +87,12 @@ func (d *Dataset) Table3() Table3Row {
 		rtrOpt.Observe(r.RTR.Optimal)
 		fcpRec.Observe(r.FCP.Delivered)
 		fcpOpt.Observe(r.FCP.Optimal)
-		mrcRec.Observe(r.MRC.Delivered)
-		mrcOpt.Observe(r.MRC.Optimal)
+		// Scale-mode records skip MRC entirely; observing them would
+		// report a fake 0% recovery rate.
+		if !r.MRC.Skipped {
+			mrcRec.Observe(r.MRC.Delivered)
+			mrcOpt.Observe(r.MRC.Optimal)
+		}
 		if r.RTR.Recovered && r.RTR.Stretch > row.RTRMaxStretch {
 			row.RTRMaxStretch = r.RTR.Stretch
 		}

@@ -63,6 +63,10 @@ type MRCRecord struct {
 	Delivered bool    `json:"delivered,omitempty"`
 	Optimal   bool    `json:"optimal,omitempty"`
 	Stretch   float64 `json:"stretch,omitempty"`
+	// Skipped marks a case run on a scale-mode world without an MRC
+	// engine; omitted entirely on full worlds, so existing checkpoints
+	// keep their byte-exact records.
+	Skipped bool `json:"skipped,omitempty"`
 }
 
 // Record projects the outcome onto its serializable form.
@@ -92,6 +96,7 @@ func (o *Outcome) Record() CaseRecord {
 			Delivered: o.MRC.Delivered,
 			Optimal:   o.MRC.Optimal,
 			Stretch:   o.MRC.Stretch,
+			Skipped:   o.MRC.Skipped,
 		},
 	}
 	if o.Case != nil {

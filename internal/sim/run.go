@@ -182,6 +182,9 @@ type MRCResult struct {
 	Delivered bool
 	Optimal   bool
 	Stretch   float64
+	// Skipped marks a case run on a world without an MRC engine
+	// (scale mode); the other fields are then meaningless zeros.
+	Skipped bool
 }
 
 // RunMRC executes MRC on one case. See RunRTR for the truth parameter.
@@ -191,6 +194,10 @@ func RunMRC(w *World, c *Case, truth *spt.Tree) (MRCResult, error) {
 
 func runMRC(w *World, c *Case, truth truthSource) (MRCResult, error) {
 	var res MRCResult
+	if w.MRC == nil {
+		res.Skipped = true
+		return res, nil
+	}
 	r, err := w.MRC.Recover(c.LV, c.Initiator, c.Dst, c.NextHop, c.Trigger)
 	if err != nil {
 		return res, err

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/topology"
+)
+
+// caseKey projects a Case onto its identifying scalars (the pointers
+// differ between enumerations of the same scenario).
+type caseKey struct {
+	Initiator, Dst, NextHop uint32
+	Trigger                 uint32
+	Recoverable             bool
+}
+
+func caseKeys(cs []*Case) []caseKey {
+	out := make([]caseKey, len(cs))
+	for i, c := range cs {
+		out[i] = caseKey{uint32(c.Initiator), uint32(c.Dst), uint32(c.NextHop), uint32(c.Trigger), c.Recoverable}
+	}
+	return out
+}
+
+// TestScaleCasesMatchFull: with a full destination sample, the
+// scale-mode enumerator (failure-adjacency initiators) must produce
+// exactly the full n^2 enumeration, in the same order — the candidate
+// set is exact, not a heuristic.
+func TestScaleCasesMatchFull(t *testing.T) {
+	w, err := NewWorld("AS1239", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	g := failure.Default()
+	for draw := 0; draw < 25; draw++ {
+		sc := g.Generate(w.Topo, rng)
+		wantRec, wantIrr := CasesFromScenario(w, sc)
+		gotRec, gotIrr := ScaleCasesFromScenario(w, sc, rng, 0)
+		if !reflect.DeepEqual(caseKeys(gotRec), caseKeys(wantRec)) {
+			t.Fatalf("draw %d: scale recoverable cases differ from full enumeration", draw)
+		}
+		if !reflect.DeepEqual(caseKeys(gotIrr), caseKeys(wantIrr)) {
+			t.Fatalf("draw %d: scale irrecoverable cases differ from full enumeration", draw)
+		}
+	}
+}
+
+// TestScaleCasesSampledSubset: a sampled enumeration is a subset of
+// the full one and a pure function of the rng stream.
+func TestScaleCasesSampledSubset(t *testing.T) {
+	w, err := NewWorld("AS1239", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := failure.Default().Generate(w.Topo, rand.New(rand.NewSource(3)))
+	fullRec, fullIrr := CasesFromScenario(w, sc)
+	full := map[caseKey]bool{}
+	for _, k := range caseKeys(append(append([]*Case(nil), fullRec...), fullIrr...)) {
+		full[k] = true
+	}
+
+	rec1, irr1 := ScaleCasesFromScenario(w, sc, rand.New(rand.NewSource(5)), 10)
+	rec2, irr2 := ScaleCasesFromScenario(w, sc, rand.New(rand.NewSource(5)), 10)
+	if !reflect.DeepEqual(caseKeys(rec1), caseKeys(rec2)) || !reflect.DeepEqual(caseKeys(irr1), caseKeys(irr2)) {
+		t.Fatal("sampled enumeration not deterministic for a fixed rng stream")
+	}
+	for _, k := range caseKeys(append(append([]*Case(nil), rec1...), irr1...)) {
+		if !full[k] {
+			t.Fatalf("sampled case %+v not present in full enumeration", k)
+		}
+	}
+}
+
+// TestScaleWorldConfig: a scale-mode world carries lazy tables and no
+// MRC, reports both concessions through the log hook, and its RTR and
+// FCP outcomes are identical to the full world's.
+func TestScaleWorldConfig(t *testing.T) {
+	topo := topology.PaperExample()
+	var logs []string
+	ws, err := NewWorldFromConfig(topo, WorldConfig{
+		Scale: true,
+		Log:   func(msg string) { logs = append(logs, msg) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ws.Tables.Lazy() {
+		t.Error("scale world must use lazy tables")
+	}
+	if ws.HasMRC() {
+		t.Error("scale world must not carry an MRC engine")
+	}
+	joined := strings.Join(logs, "\n")
+	if len(logs) != 2 || !strings.Contains(joined, "lazy") || !strings.Contains(joined, "MRC disabled") {
+		t.Errorf("scale concessions not logged, got %q", logs)
+	}
+
+	wf, err := NewWorldFrom(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := failure.NewScenario(wf.Topo, topology.PaperFailureArea())
+	fullRec, fullIrr := CasesFromScenario(wf, sc)
+	fullOut := RunAll(wf, append(append([]*Case(nil), fullRec...), fullIrr...))
+
+	scRec, scIrr := CasesFromScenario(ws, sc)
+	scaleOut := RunAll(ws, append(append([]*Case(nil), scRec...), scIrr...))
+
+	if len(scaleOut) != len(fullOut) {
+		t.Fatalf("scale world produced %d outcomes, full %d", len(scaleOut), len(fullOut))
+	}
+	for i := range scaleOut {
+		so, fo := scaleOut[i].Record(), fullOut[i].Record()
+		if !so.MRC.Skipped {
+			t.Fatalf("case %d: MRC not marked skipped on scale world", i)
+		}
+		so.MRC = fo.MRC // the only permitted difference
+		if !reflect.DeepEqual(so, fo) {
+			t.Fatalf("case %d: RTR/FCP outcomes differ between scale and full world:\n scale %+v\n full  %+v", i, so, fo)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fcp"
+	"repro/internal/graph"
 	"repro/internal/mrc"
 	"repro/internal/routing"
 	"repro/internal/spt"
@@ -27,13 +28,20 @@ type World struct {
 	Tables *routing.Tables
 	RTR    *core.RTR
 	FCP    *fcp.FCP
-	MRC    *mrc.MRC
+	// MRC is nil on scale-mode worlds (see NewWorldFromConfig): its
+	// k*n backup-configuration precomputation is quadratic-plus and
+	// infeasible past Rocketfuel sizes. Runners skip it via HasMRC.
+	MRC *mrc.MRC
 	// Phase2 is the route engine every recovery engine above was built
 	// with. All engines produce identical outputs; they differ in the
 	// shape of the work (precomputed trees vs per-query goal-directed
 	// search), which is what the single-pair benchmarks compare.
 	Phase2 spt.Engine
 }
+
+// HasMRC reports whether this world carries an MRC engine. Scale-mode
+// worlds drop it; MRCResult.Skipped marks their outcomes.
+func (w *World) HasMRC() bool { return w.MRC != nil }
 
 // NewWorld synthesizes the named Table II topology with the given seed
 // and builds all engines on it.
@@ -69,14 +77,77 @@ func NewWorldFrom(topo *topology.Topology, opts ...core.Option) (*World, error) 
 // tables; under a goal-directed engine that matrix is skipped entirely
 // and MRC routes are answered on demand.
 func NewWorldFromPhase2(topo *topology.Topology, e spt.Engine, opts ...core.Option) (*World, error) {
+	return NewWorldFromConfig(topo, WorldConfig{Phase2: e, Opts: opts})
+}
+
+// ScaleWorldNodes is the node count at which NewWorldFromConfig
+// switches to scale mode on its own: above it the eager table build
+// (n reverse trees of n entries each) and MRC's backup-configuration
+// matrix stop fitting in time and memory budgets.
+const ScaleWorldNodes = 1 << 14
+
+// WorldConfig selects how a World is constructed.
+type WorldConfig struct {
+	// Phase2 is the phase-2 route engine (EngineDijkstra when zero).
+	Phase2 spt.Engine
+	// Opts are extra RTR options (WithPhase2 is appended internally).
+	Opts []core.Option
+	// Scale forces the memory-bounded scale construction: lazy
+	// converged tables (per-destination trees materialized on first
+	// use) and no MRC engine. When false, scale mode still engages
+	// automatically for graphs of at least ScaleWorldNodes nodes.
+	Scale bool
+	// Log, when non-nil, receives one line per scale-mode concession
+	// (what was skipped or deferred, and why).
+	Log func(msg string)
+}
+
+// NewWorldFromConfig builds a World for an existing topology under an
+// explicit configuration. The full (non-scale) construction is
+// identical to NewWorldFromPhase2's historical behavior; scale mode
+// trades per-protocol completeness for feasibility at 10^5 nodes:
+//
+//   - converged tables are lazy — on a 10^5-node graph the eager table
+//     is ~10^5 trees x 10^5 entries (tens of GB), while sweeps over
+//     sampled destinations and serving workloads touch a few,
+//   - MRC is dropped — its precomputation assigns every node to one of
+//     k backup configurations with an O(n(n+m)) scan and then carries
+//     k*n configuration trees, both hopeless at this size. RTR and FCP
+//     (the paper's subjects) run in full.
+//
+// Every concession is reported through cfg.Log so a sweep's output
+// states what was skipped rather than silently narrowing.
+func NewWorldFromConfig(topo *topology.Topology, cfg WorldConfig) (*World, error) {
+	e := cfg.Phase2
+	scale := cfg.Scale || topo.G.NumNodes() >= ScaleWorldNodes
+	logf := func(format string, args ...any) {
+		if cfg.Log != nil {
+			cfg.Log(fmt.Sprintf(format, args...))
+		}
+	}
 	ci := topology.BuildCrossIndex(topo)
-	tables := routing.ComputeTables(topo)
+	var tables *routing.Tables
+	if scale {
+		logf("sim: %s (%d nodes): scale mode: converged tables are lazy (materialized per destination on first use)",
+			topo.Name, topo.G.NumNodes())
+		tables = routing.ComputeTablesLazy(topo, graph.Nothing)
+	} else {
+		tables = routing.ComputeTables(topo)
+	}
 	// Full-slice append: never scribble on a caller-owned opts backing.
+	opts := cfg.Opts
 	opts = append(opts[:len(opts):len(opts)], core.WithPhase2(e))
 	r := core.New(topo, ci, opts...)
-	m, err := mrc.NewWarmPhase2(topo, 0, tables, e, r.Heuristic())
-	if err != nil {
-		return nil, fmt.Errorf("sim: building MRC for %s: %w", topo.Name, err)
+	var m *mrc.MRC
+	if scale {
+		logf("sim: %s (%d nodes): scale mode: MRC disabled (k*n backup-configuration precomputation infeasible at this size)",
+			topo.Name, topo.G.NumNodes())
+	} else {
+		var err error
+		m, err = mrc.NewWarmPhase2(topo, 0, tables, e, r.Heuristic())
+		if err != nil {
+			return nil, fmt.Errorf("sim: building MRC for %s: %w", topo.Name, err)
+		}
 	}
 	f := fcp.New(topo)
 	f.UseCleanTrees(r.CleanTree)

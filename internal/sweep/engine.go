@@ -230,7 +230,12 @@ func (e *Engine) runShard(sh Shard) (*ShardResult, error) {
 			sr.Irrecoverable += ir
 		}
 	default:
-		rec, irr := sim.CollectBothG(w, e.gen, rng, sh.Rec, sh.Irr)
+		var rec, irr []*sim.Case
+		if ds := e.Spec.DstSample; ds > 0 {
+			rec, irr = sim.CollectBothSampledG(w, e.gen, rng, sh.Rec, sh.Irr, ds)
+		} else {
+			rec, irr = sim.CollectBothG(w, e.gen, rng, sh.Rec, sh.Irr)
+		}
 		if e.Spec.Check {
 			// The checking profile follows the generator: invariants
 			// that assume a single connected failure perimeter are

@@ -143,6 +143,33 @@ func TestRunDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestSampledSweepDeterministicAcrossWorkers: the scale-mode
+// destination-sampled enumeration draws from the shard RNG, so its
+// merged output must also be bit-identical for any worker count.
+func TestSampledSweepDeterministicAcrossWorkers(t *testing.T) {
+	worlds := as1239(t)
+	spec := testSpec()
+	spec.Fig11Radii = nil
+	spec.DstSample = 12
+	var want string
+	for _, workers := range []int{1, 4} {
+		e := &Engine{Spec: spec, Worlds: worlds, Workers: workers}
+		res, err := e.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete() {
+			t.Fatalf("workers=%d: run incomplete", workers)
+		}
+		got := merged(t, res, worlds)
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Fatalf("workers=%d: sampled sweep produced different merged output", workers)
+		}
+	}
+}
+
 // TestInterruptResumeMatchesUninterrupted: a run stopped after 3
 // shards and resumed with a different worker count merges to exactly
 // the bytes of an uninterrupted run.
@@ -343,6 +370,7 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"block":      func(s *Spec) { s.BlockCases++ },
 		"radii":      func(s *Spec) { s.Fig11Radii = []float64{100} },
 		"areas":      func(s *Spec) { s.Fig11Areas++ },
+		"dst_sample": func(s *Spec) { s.DstSample = 25 },
 	}
 	fp := Fingerprint(base)
 	if fp != Fingerprint(testSpec()) {

@@ -120,13 +120,16 @@ func Read(r io.Reader) (*Topology, error) {
 		return nil, fmt.Errorf("topology: missing 'topology <name>' header")
 	}
 
-	g := graph.New(len(coords))
+	g, err := graph.WithNodes(len(coords))
+	if err != nil {
+		return nil, fmt.Errorf("topology %q: %w", name, err)
+	}
 	for _, l := range links {
 		if l.a < 0 || l.a >= len(coords) || l.b < 0 || l.b >= len(coords) {
-			return nil, fmt.Errorf("topology: link %d-%d references undeclared node", l.a, l.b)
+			return nil, fmt.Errorf("topology %q: link %d-%d references undeclared node", name, l.a, l.b)
 		}
 		if _, err := g.AddLinkCost(graph.NodeID(l.a), graph.NodeID(l.b), l.costAB, l.costBA); err != nil {
-			return nil, fmt.Errorf("topology: link %d-%d: %w", l.a, l.b, err)
+			return nil, fmt.Errorf("topology %q: link %d-%d: %w", name, l.a, l.b, err)
 		}
 	}
 	return &Topology{Name: name, G: g, Coords: coords}, nil

@@ -1,6 +1,7 @@
 package topology
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -38,6 +39,45 @@ func FuzzRead(f *testing.F) {
 		}
 		if back.G.NumNodes() != topo.G.NumNodes() || back.G.NumLinks() != topo.G.NumLinks() {
 			t.Fatal("round trip changed the graph")
+		}
+	})
+}
+
+// FuzzReadBinary drives the binary snapshot reader with arbitrary
+// bytes: it must never panic or over-allocate, and any snapshot it
+// accepts must validate and re-encode to the identical byte sequence
+// (the format has exactly one encoding per world). Truncations and
+// bit flips of valid snapshots are in the seed corpus; the trailing
+// CRC must reject them. Run with
+//
+//	go test -fuzz FuzzReadBinary ./internal/topology
+func FuzzReadBinary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("RTRSNAP1"))
+	var snap bytes.Buffer
+	if err := WriteBinary(&snap, PaperExample(), nil); err != nil {
+		f.Fatal(err)
+	}
+	valid := snap.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, input []byte) {
+		topo, err := ReadBinary(bytes.NewReader(input), nil)
+		if err != nil {
+			return
+		}
+		if err := topo.Validate(); err != nil {
+			t.Fatalf("accepted snapshot fails validation: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteBinary(&out, topo, nil); err != nil {
+			t.Fatalf("accepted snapshot fails to re-encode: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), input) {
+			t.Fatalf("re-encode differs from accepted input (%d vs %d bytes)", out.Len(), len(input))
 		}
 	})
 }

@@ -26,6 +26,13 @@ type GenParams struct {
 	// Width and Height of the embedding area; zero values default to
 	// the paper's 2000x2000.
 	Width, Height float64
+	// Tiers switches to the hierarchical PoP generator (hierarchy.go):
+	// a core / aggregation / access three-tier layout with geometric
+	// locality per tier, built in near-linear time so city/continent
+	// scale (10^5 nodes) synthesizes in seconds. The flat Waxman +
+	// preferential-attachment model above stays the Table II generator;
+	// PrefAttach is ignored in tiered mode.
+	Tiers bool
 }
 
 // Rocketfuel substitute: the paper's Table II node and link counts for
@@ -97,6 +104,9 @@ func GenerateAS(name string, seed int64) *Topology {
 // what makes the paper's premise meaningful: a geographic failure area
 // destroys geographically close infrastructure.
 func Generate(p GenParams, rng *rand.Rand) (*Topology, error) {
+	if p.Tiers {
+		return generateTiered(p, rng)
+	}
 	if p.Nodes < 2 {
 		return nil, fmt.Errorf("topology: need at least 2 nodes, got %d", p.Nodes)
 	}

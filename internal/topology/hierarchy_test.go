@@ -1,0 +1,111 @@
+package topology
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func tieredParams(nodes, links int) GenParams {
+	return GenParams{Name: "synth", Nodes: nodes, Links: links, Tiers: true}
+}
+
+func TestTieredGenerate(t *testing.T) {
+	p := tieredParams(2000, 5200)
+	topo, err := Generate(p, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.G.NumNodes() != p.Nodes || topo.G.NumLinks() != p.Links {
+		t.Fatalf("got %d nodes / %d links, want %d / %d",
+			topo.G.NumNodes(), topo.G.NumLinks(), p.Nodes, p.Links)
+	}
+	if !topo.G.ConnectedAll(graph.Nothing) {
+		t.Fatal("tiered topology must be connected")
+	}
+	// Core nodes carry the ring plus uplinks: every core node has
+	// degree >= 2, and the core tier's mean degree must exceed the
+	// access tier's (the hierarchy is real, not cosmetic).
+	nCore, nAgg := tierSizes(p.Nodes)
+	coreDeg, accessDeg := 0, 0
+	for v := 0; v < nCore; v++ {
+		d := topo.G.Degree(graph.NodeID(v))
+		if d < 2 {
+			t.Fatalf("core node %d has degree %d", v, d)
+		}
+		coreDeg += d
+	}
+	nAccess := p.Nodes - nCore - nAgg
+	for v := nCore + nAgg; v < p.Nodes; v++ {
+		accessDeg += topo.G.Degree(graph.NodeID(v))
+	}
+	if float64(coreDeg)/float64(nCore) <= float64(accessDeg)/float64(nAccess) {
+		t.Fatalf("core mean degree %.1f not above access mean degree %.1f",
+			float64(coreDeg)/float64(nCore), float64(accessDeg)/float64(nAccess))
+	}
+}
+
+func TestTieredDeterminism(t *testing.T) {
+	p := tieredParams(3000, 8000)
+	var snaps [2][]byte
+	for i := range snaps {
+		topo, err := Generate(p, rand.New(rand.NewSource(17)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, topo, nil); err != nil {
+			t.Fatal(err)
+		}
+		snaps[i] = buf.Bytes()
+	}
+	if !bytes.Equal(snaps[0], snaps[1]) {
+		t.Fatal("same params + seed must give byte-identical snapshots")
+	}
+	other, err := Generate(p, rand.New(rand.NewSource(18)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, other, nil); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(snaps[0], buf.Bytes()) {
+		t.Fatal("different seeds must give different topologies")
+	}
+}
+
+func TestTieredErrors(t *testing.T) {
+	if _, err := Generate(tieredParams(8, 20), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("too few nodes must fail")
+	}
+	if _, err := Generate(tieredParams(100, 50), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("links below node count must fail")
+	}
+	if _, err := Generate(tieredParams(20, 400), rand.New(rand.NewSource(1))); err == nil {
+		t.Error("links beyond the simple-graph maximum must fail")
+	}
+}
+
+func TestTieredLocality(t *testing.T) {
+	// Tiered links must be overwhelmingly short: mean link length well
+	// under a quarter of the area diagonal (the flat Waxman model's
+	// bias is far weaker).
+	topo, err := Generate(tieredParams(4000, 10000), rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for i := 0; i < topo.G.NumLinks(); i++ {
+		total += topo.LinkSegment(graph.LinkID(i)).Length()
+	}
+	mean := total / float64(topo.G.NumLinks())
+	if mean > 700 {
+		t.Fatalf("mean link length %.0f too long for a local hierarchy", mean)
+	}
+}

@@ -1,0 +1,145 @@
+package topology
+
+import (
+	"math"
+	"slices"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+func sortLinkIDs(ids []graph.LinkID) { slices.Sort(ids) }
+
+// segGrid indexes segments by the grid cells their bounding boxes
+// cover, turning all-pairs crossing detection into per-cell candidate
+// enumeration. Pairs whose cell ranges overlap in several cells are
+// deduplicated geometrically: a pair is reported only from the
+// top-left cell of the overlap of the two ranges, so no visited-set
+// is needed and every pair is reported exactly once.
+type segGrid struct {
+	cells  [][]int32 // segment indices per cell
+	rngs   []cellRange
+	nx, ny int
+}
+
+// cellRange is the inclusive cell-coordinate span of one segment's
+// bounding box.
+type cellRange struct {
+	x0, x1, y0, y1 int32
+}
+
+// segGridDim bounds the grid resolution; the cell count stays ~dim^2
+// regardless of segment count, and resolution adapts to the bounding
+// box of the data rather than assuming the paper's 2000x2000 area.
+const segGridDim = 256
+
+func newSegGrid(segs []geom.Segment) *segGrid {
+	// Bounding box of all segments (degenerate boxes are fine).
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, s := range segs {
+		minX = math.Min(minX, math.Min(s.A.X, s.B.X))
+		maxX = math.Max(maxX, math.Max(s.A.X, s.B.X))
+		minY = math.Min(minY, math.Min(s.A.Y, s.B.Y))
+		maxY = math.Max(maxY, math.Max(s.A.Y, s.B.Y))
+	}
+	if len(segs) == 0 || minX > maxX {
+		return &segGrid{nx: 1, ny: 1, cells: make([][]int32, 1), rngs: nil}
+	}
+	nx, ny := segGridDim, segGridDim
+	// Fewer cells than segments buys nothing on tiny graphs.
+	if len(segs) < segGridDim {
+		nx, ny = 16, 16
+	}
+	w := maxX - minX
+	h := maxY - minY
+	if w <= 0 {
+		w = 1
+	}
+	if h <= 0 {
+		h = 1
+	}
+	g := &segGrid{
+		cells: make([][]int32, nx*ny),
+		rngs:  make([]cellRange, len(segs)),
+		nx:    nx, ny: ny,
+	}
+	cellX := func(x float64) int32 {
+		c := int32((x - minX) / w * float64(nx))
+		if c >= int32(nx) {
+			c = int32(nx) - 1
+		}
+		return c
+	}
+	cellY := func(y float64) int32 {
+		c := int32((y - minY) / h * float64(ny))
+		if c >= int32(ny) {
+			c = int32(ny) - 1
+		}
+		return c
+	}
+	for i, s := range segs {
+		r := cellRange{
+			x0: cellX(math.Min(s.A.X, s.B.X)),
+			x1: cellX(math.Max(s.A.X, s.B.X)),
+			y0: cellY(math.Min(s.A.Y, s.B.Y)),
+			y1: cellY(math.Max(s.A.Y, s.B.Y)),
+		}
+		g.rngs[i] = r
+		for cy := r.y0; cy <= r.y1; cy++ {
+			for cx := r.x0; cx <= r.x1; cx++ {
+				k := int(cy)*nx + int(cx)
+				g.cells[k] = append(g.cells[k], int32(i))
+			}
+		}
+	}
+	return g
+}
+
+// forCandidatePairs calls report(i, j) with i < j exactly once for
+// every segment pair whose cell ranges overlap. Crossing segments have
+// overlapping bounding boxes, and overlapping boxes always share at
+// least one cell, so every crossing pair is reported; pairs whose
+// boxes merely share a coarse cell without touching are eliminated by
+// the caller's exact segment test.
+func (g *segGrid) forCandidatePairs(report func(i, j int)) {
+	g.forCandidatePairsIn(0, len(g.cells), report)
+}
+
+// forCandidatePairsIn is forCandidatePairs restricted to cells
+// [lo, hi) — the unit of parallel distribution. A pair is reported by
+// whichever block owns its canonical cell, so blocks never overlap.
+func (g *segGrid) forCandidatePairsIn(lo, hi int, report func(i, j int)) {
+	for k := lo; k < hi; k++ {
+		cell := g.cells[k]
+		if len(cell) < 2 {
+			continue
+		}
+		cx := int32(k % g.nx)
+		cy := int32(k / g.nx)
+		for ai := 0; ai < len(cell); ai++ {
+			a := cell[ai]
+			ra := g.rngs[a]
+			for bi := ai + 1; bi < len(cell); bi++ {
+				b := cell[bi]
+				rb := g.rngs[b]
+				// Top-left cell of the range overlap owns the pair.
+				if max32(ra.x0, rb.x0) != cx || max32(ra.y0, rb.y0) != cy {
+					continue
+				}
+				i, j := int(a), int(b)
+				if i > j {
+					i, j = j, i
+				}
+				report(i, j)
+			}
+		}
+	}
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,112 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// naiveCrossIndex is the original exhaustive O(E^2) build, kept as the
+// differential oracle for the grid-accelerated BuildCrossIndex.
+func naiveCrossIndex(t *Topology) *CrossIndex {
+	e := t.G.NumLinks()
+	segs := make([]geom.Segment, e)
+	for i := 0; i < e; i++ {
+		segs[i] = t.LinkSegment(graph.LinkID(i))
+	}
+	ci := &CrossIndex{
+		crossing: make([][]graph.LinkID, e),
+		bits:     make([]uint64, (e*e+63)/64),
+		n:        e,
+	}
+	for i := 0; i < e; i++ {
+		for j := i + 1; j < e; j++ {
+			if segs[i].Crosses(segs[j]) {
+				ci.crossing[i] = append(ci.crossing[i], graph.LinkID(j))
+				ci.crossing[j] = append(ci.crossing[j], graph.LinkID(i))
+				ci.setBit(i, j)
+				ci.setBit(j, i)
+			}
+		}
+	}
+	return ci
+}
+
+func sameCrossIndex(t *testing.T, want, got *CrossIndex) {
+	t.Helper()
+	if len(want.crossing) != len(got.crossing) {
+		t.Fatalf("crossing table size %d != %d", len(got.crossing), len(want.crossing))
+	}
+	for i := range want.crossing {
+		w, g := want.crossing[i], got.crossing[i]
+		if len(w) != len(g) {
+			t.Fatalf("link %d: %d crossings != %d", i, len(g), len(w))
+		}
+		for k := range w {
+			if w[k] != g[k] {
+				t.Fatalf("link %d: crossing[%d] = %d, want %d", i, k, g[k], w[k])
+			}
+		}
+	}
+}
+
+// TestBuildCrossIndexMatchesNaive checks the grid-accelerated build
+// against the exhaustive scan on every Table II topology and on a
+// tiered synthesis, list for list in identical order, plus Cross()
+// agreement on sampled pairs.
+func TestBuildCrossIndexMatchesNaive(t *testing.T) {
+	topos := []*Topology{PaperExample()}
+	for _, name := range ASNames() {
+		topos = append(topos, GenerateAS(name, 7))
+	}
+	tiered, err := Generate(GenParams{Name: "t2k", Nodes: 2000, Links: 5000, Tiers: true},
+		rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	topos = append(topos, tiered)
+
+	rng := rand.New(rand.NewSource(1))
+	for _, topo := range topos {
+		want := naiveCrossIndex(topo)
+		got := BuildCrossIndex(topo)
+		sameCrossIndex(t, want, got)
+		e := topo.G.NumLinks()
+		for trial := 0; trial < 2000; trial++ {
+			a := graph.LinkID(rng.Intn(e))
+			b := graph.LinkID(rng.Intn(e))
+			if want.Cross(a, b) != got.Cross(a, b) {
+				t.Fatalf("%s: Cross(%d,%d) = %v, want %v", topo.Name, a, b, got.Cross(a, b), want.Cross(a, b))
+			}
+		}
+	}
+}
+
+// TestCrossIndexSparseFallback forces the list-backed Cross path (no
+// bit matrix) and checks it against the matrix-backed answers.
+func TestCrossIndexSparseFallback(t *testing.T) {
+	topo := GenerateAS("AS3549", 7) // densest Table II map: 486 links
+	dense := BuildCrossIndex(topo)
+	if dense.bits == nil {
+		t.Fatal("Table II build must carry the bit matrix")
+	}
+	sparse := &CrossIndex{crossing: dense.crossing, n: dense.n}
+	e := topo.G.NumLinks()
+	for a := 0; a < e; a++ {
+		for _, b := range dense.crossing[a] {
+			if !sparse.Cross(graph.LinkID(a), b) {
+				t.Fatalf("sparse Cross(%d,%d) = false, want true", a, b)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 5000; trial++ {
+		a := graph.LinkID(rng.Intn(e))
+		b := graph.LinkID(rng.Intn(e))
+		if sparse.Cross(a, b) != dense.Cross(a, b) {
+			t.Fatalf("sparse Cross(%d,%d) = %v, want %v", a, b, sparse.Cross(a, b), dense.Cross(a, b))
+		}
+	}
+}

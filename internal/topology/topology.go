@@ -11,9 +11,11 @@ package topology
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/geom"
 	"repro/internal/graph"
+	"repro/internal/par"
 )
 
 // Width and Height of the simulation area used throughout the paper.
@@ -51,14 +53,30 @@ func (t *Topology) LinkSegment(id graph.LinkID) geom.Segment {
 
 // CrossIndex is the precomputed "links across each link" table the
 // paper's routers maintain: for every link, the set of links whose
-// segments cross it. It is symmetric by construction.
+// segments cross it (always in ascending link-ID order). It is
+// symmetric by construction.
+//
+// For graphs up to bitMatrixMaxLinks links an E x E bit matrix backs
+// O(1) Cross queries; past that the matrix would be gigabytes (E^2/8
+// bytes), so Cross falls back to binary search over the sorted
+// crossing lists — crossing sets are tiny relative to E, so the
+// O(log k) probe stays cheap at scale.
 type CrossIndex struct {
 	crossing [][]graph.LinkID
-	bits     []uint64 // flattened E x E bit matrix for O(1) queries
+	bits     []uint64 // flattened E x E bit matrix, nil when e > bitMatrixMaxLinks
 	n        int
 }
 
-// BuildCrossIndex computes the cross-link table for t.
+// bitMatrixMaxLinks bounds the dense Cross matrix at 32 MB
+// (16384^2 bits). Every Table II topology is far below it.
+const bitMatrixMaxLinks = 1 << 14
+
+// BuildCrossIndex computes the cross-link table for t. Candidate pairs
+// come from a uniform grid over the embedding area (segments indexed
+// by the cells their bounding boxes cover), so the build does
+// near-linear work on geometrically local graphs instead of testing
+// all E^2 pairs; every candidate still goes through the exact segment
+// test, so the result is identical to the exhaustive scan.
 func BuildCrossIndex(t *Topology) *CrossIndex {
 	e := t.G.NumLinks()
 	segs := make([]geom.Segment, e)
@@ -67,19 +85,48 @@ func BuildCrossIndex(t *Topology) *CrossIndex {
 	}
 	ci := &CrossIndex{
 		crossing: make([][]graph.LinkID, e),
-		bits:     make([]uint64, (e*e+63)/64),
 		n:        e,
 	}
-	for i := 0; i < e; i++ {
-		for j := i + 1; j < e; j++ {
+	if e <= bitMatrixMaxLinks {
+		ci.bits = make([]uint64, (e*e+63)/64)
+	}
+
+	sg := newSegGrid(segs)
+	// Candidate cells are independent, so the exact tests fan out over
+	// cell blocks; each worker accumulates packed (i,j) pairs locally.
+	blocks := runtime.GOMAXPROCS(0) * 8
+	if blocks > len(sg.cells) {
+		blocks = len(sg.cells)
+	}
+	found := make([][]uint64, blocks)
+	par.For(blocks, 0, func(b int) {
+		lo := len(sg.cells) * b / blocks
+		hi := len(sg.cells) * (b + 1) / blocks
+		var local []uint64
+		sg.forCandidatePairsIn(lo, hi, func(i, j int) {
 			if segs[i].Crosses(segs[j]) {
-				ci.crossing[i] = append(ci.crossing[i], graph.LinkID(j))
-				ci.crossing[j] = append(ci.crossing[j], graph.LinkID(i))
+				local = append(local, uint64(i)<<32|uint64(j))
+			}
+		})
+		found[b] = local
+	})
+	for _, local := range found {
+		for _, p := range local {
+			i, j := int(p>>32), int(p&0xFFFFFFFF)
+			ci.crossing[i] = append(ci.crossing[i], graph.LinkID(j))
+			ci.crossing[j] = append(ci.crossing[j], graph.LinkID(i))
+			if ci.bits != nil {
 				ci.setBit(i, j)
 				ci.setBit(j, i)
 			}
 		}
 	}
+	// Candidate enumeration visits cells, not IDs, so restore the
+	// ascending-ID order the exhaustive scan produced (which also
+	// makes the result independent of worker scheduling).
+	par.For(e, 0, func(i int) {
+		sortLinkIDs(ci.crossing[i])
+	})
 	return ci
 }
 
@@ -90,8 +137,21 @@ func (ci *CrossIndex) setBit(i, j int) {
 
 // Cross reports whether links a and b cross each other.
 func (ci *CrossIndex) Cross(a, b graph.LinkID) bool {
-	k := int(a)*ci.n + int(b)
-	return ci.bits[k/64]&(1<<(k%64)) != 0
+	if ci.bits != nil {
+		k := int(a)*ci.n + int(b)
+		return ci.bits[k/64]&(1<<(k%64)) != 0
+	}
+	list := ci.crossing[a]
+	lo, hi := 0, len(list)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if list[mid] < b {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(list) && list[lo] == b
 }
 
 // Crossing returns the links that cross link a. The returned slice is
