@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench-smoke bench bench-diff sweep-smoke sweep-smoke-generators check-invariants serve-smoke scale-smoke fuzz-smoke clean
+.PHONY: check vet build test race bench-smoke bench bench-diff sweep-smoke sweep-smoke-generators check-invariants congestion-smoke serve-smoke scale-smoke fuzz-smoke clean
 
 ## check: the full pre-merge gate — vet, build, race-enabled tests, a
 ## one-iteration pass over every benchmark so bench code can't rot, an
@@ -9,7 +9,7 @@ GO ?= go
 ## per alternative failure generator, a live daemon/load-generator
 ## round trip, and the 100k-node scale pipeline under wall-clock/RSS
 ## budgets.
-check: vet build race bench-smoke sweep-smoke sweep-smoke-generators check-invariants serve-smoke scale-smoke
+check: vet build race bench-smoke sweep-smoke sweep-smoke-generators check-invariants congestion-smoke serve-smoke scale-smoke
 
 vet:
 	$(GO) vet ./...
@@ -83,6 +83,18 @@ sweep-smoke-generators:
 CHECK_ARGS = -exp table3,loss -as AS1239 -cases 40 -block 15 -loss-scenarios 5 -seed 1
 check-invariants:
 	$(GO) run -race ./cmd/rtrsim $(CHECK_ARGS) -check > /dev/null
+
+## congestion-smoke: a checked congestion sweep shard — gravity-model
+## traffic at heavy offered load replayed through the recovery-scheme
+## registry (rtr vs the load-spreading rtr-spread), with the
+## utilization oracle (-check) validating flow conservation, column
+## ordering, and the calibrated operating point. Also proves the
+## -scheme flag fails fast (exit 1) on a name the registry doesn't
+## know.
+CONG_ARGS = -exp congestion -as AS1239 -util-pairs 200 -util-scenarios 3 -seed 1
+congestion-smoke:
+	$(GO) run ./cmd/rtrsim $(CONG_ARGS) -check > /dev/null
+	! $(GO) run ./cmd/rtrsim -exp congestion -as AS1239 -scheme nosuch > /dev/null 2>&1
 
 ## serve-smoke: end-to-end daemon round trip. Starts rtrsimd on a
 ## loopback port with the invariant oracle attached, fires a short

@@ -74,6 +74,7 @@ func main() {
 	worst, worstAllocs := diff(os.Stdout, *oldPath, oldRec, newPath, newRec)
 	singlePairSpeedups(os.Stdout, newRec)
 	servingDeltas(os.Stdout, oldRec, newRec)
+	congestionDeltas(os.Stdout, oldRec, newRec)
 	if *failOver > 0 && worst > *failOver {
 		fmt.Fprintf(os.Stderr, "benchdiff: worst ns/op regression %+.1f%% exceeds -fail-over %.1f%%\n", worst, *failOver)
 		os.Exit(1)
@@ -253,6 +254,39 @@ func servingDeltas(w *os.File, oldRec, newRec *perf.Record) {
 		fmt.Fprintf(w, "%-22s %-8s %10.1f %8s %12s %8s %8s\n",
 			e.Name, e.Topology, e.CasesPerSec, dq,
 			time.Duration(e.P99Ns).Round(time.Microsecond).String(), dp, hit)
+	}
+}
+
+// congestionDeltas prints the congestion-<scheme> comparison:
+// post-recovery peak link utilization per (topology, scheme), with the
+// delta against the previous record. Informational only — utilization
+// is a quality metric, not a timing, and it moves with the traffic
+// matrix and scenario draws, so it never joins the -fail-over gate;
+// the rtrsim CLI test gates the scheme ordering (spread < rtr) in-run.
+func congestionDeltas(w *os.File, oldRec, newRec *perf.Record) {
+	oldBy := map[entryKey]perf.Entry{}
+	for _, e := range oldRec.Entries {
+		oldBy[entryKey{e.Name, e.Topology, e.Procs}] = e
+	}
+	var rows []perf.Entry
+	for _, e := range newRec.Entries {
+		if strings.HasPrefix(e.Name, "congestion-") {
+			rows = append(rows, e)
+		}
+	}
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\ncongestion entries (informational; post-recovery peak link utilization)\n")
+	fmt.Fprintf(w, "%-24s %-8s %10s %10s %8s\n", "entry", "topology", "old peak", "new peak", "delta")
+	for _, e := range rows {
+		o, ok := oldBy[entryKey{e.Name, e.Topology, e.Procs}]
+		oldCell, delta := "-", "new"
+		if ok && o.PeakUtil > 0 {
+			oldCell = fmt.Sprintf("%.4f", o.PeakUtil)
+			delta = fmt.Sprintf("%+.1f%%", 100*(e.PeakUtil-o.PeakUtil)/o.PeakUtil)
+		}
+		fmt.Fprintf(w, "%-24s %-8s %10s %10.4f %8s\n", e.Name, e.Topology, oldCell, e.PeakUtil, delta)
 	}
 }
 

@@ -9,8 +9,15 @@
 //	rtrsim -exp fig7,fig10 -cases 2000 # figures with a smaller workload
 //
 // Experiments: table2 table3 table4 fig7 fig8 fig9 fig10 fig11 fig12
-// fig13 loss ablation netsim multiarea (and "all"). Pass -csv <dir> to also write
-// machine-readable CSV files for plotting.
+// fig13 loss ablation netsim multiarea congestion (and "all"). Pass
+// -csv <dir> to also write machine-readable CSV files for plotting.
+//
+// The congestion experiment replays a gravity-model traffic matrix at
+// heavy offered load under failures and reports per-link utilization
+// before and after recovery, once per scheme named by -scheme (any
+// names from the recovery-scheme registry, e.g. rtr,rtr-spread):
+//
+//	rtrsim -exp congestion -as AS1239 -scheme rtr,rtr-spread
 //
 // Sweeps (table/figure workloads and fig11) execute as deterministic
 // shards over a worker pool; results are identical for any -workers
@@ -73,12 +80,14 @@ import (
 	"repro/internal/perf"
 	"repro/internal/report"
 	"repro/internal/routing"
+	"repro/internal/scheme"
 	seedpkg "repro/internal/seed"
 	"repro/internal/sim"
 	"repro/internal/spt"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/topology"
+	"repro/internal/traffic"
 )
 
 func main() {
@@ -101,8 +110,24 @@ func main() {
 		maxShards  = flag.Int("max-shards", 0, "stop after executing N shards, exit 2 (exercises the interrupt path deterministically)")
 		phase2     = flag.String("phase2", "dijkstra", "phase-2 route engine: dijkstra (full trees), astar (goal-directed, Euclidean heuristic), or alt (goal-directed, landmark heuristic); all engines print identical results")
 		failSpec   = flag.String("failure", "", "failure-generator spec for sweep cases and fig11 (disk, disks:k=3,disjoint, cut:w=200, srlg:g=16,n=2, cascade, transient, link); empty = the paper's single disk")
+		schemeFlag = flag.String("scheme", "rtr,rtr-spread", "comma-separated recovery schemes for the congestion experiment (registry names: "+strings.Join(scheme.Names(), ", ")+")")
+		utilPairs  = flag.Int("util-pairs", sweep.DefaultUtilPairs, "traffic-matrix size for the congestion experiment")
+		utilScen   = flag.Int("util-scenarios", sweep.DefaultUtilScenarios, "failure scenarios per (topology, scheme) congestion shard")
 	)
 	flag.Parse()
+	// Scheme names fail fast at flag parse, before any world is built.
+	var utilSchemes []string
+	for _, name := range strings.Split(*schemeFlag, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, err := scheme.Get(name); err != nil {
+			fmt.Fprintf(os.Stderr, "rtrsim: -scheme: %v\n", err)
+			os.Exit(1)
+		}
+		utilSchemes = append(utilSchemes, name)
+	}
 	if *resume && *stateDir == "" {
 		fmt.Fprintln(os.Stderr, "rtrsim: -resume requires -state")
 		os.Exit(1)
@@ -156,7 +181,10 @@ func main() {
 	if *benchJSON != "" {
 		rec = perf.NewRecorder()
 		defer func() {
-			path, err := rec.WriteFile(*benchJSON)
+			// Merge, don't overwrite: the day's record accumulates
+			// entries from every tool (rtrsim, rtrload, rtrscale), and a
+			// partial rerun must only replace its own keys.
+			path, err := perf.MergeFile(*benchJSON, rec.Record().Entries)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "rtrsim: bench-json: %v\n", err)
 				return
@@ -220,7 +248,8 @@ func main() {
 	// interrupt/resume boundaries.
 	var datasets []*sim.Dataset
 	var fig11Series map[string][]sim.Fig11Point
-	if needData || has("fig11") {
+	var utilResults []*traffic.Result
+	if needData || has("fig11") || has("congestion") {
 		spec := sweep.Spec{BaseSeed: *seed, Topologies: names, BlockCases: *blockSize, Check: *check, Phase2: *phase2, Failure: *failSpec}
 		if needData {
 			spec.Recoverable, spec.Irrecoverable = *cases, *cases
@@ -228,6 +257,11 @@ func main() {
 		if has("fig11") {
 			spec.Fig11Radii = sim.DefaultRadii()
 			spec.Fig11Areas = *fig11Area
+		}
+		if has("congestion") {
+			spec.UtilSchemes = utilSchemes
+			spec.UtilPairs = *utilPairs
+			spec.UtilScenarios = *utilScen
 		}
 		eng := &sweep.Engine{
 			Spec:          spec,
@@ -274,6 +308,17 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		if has("congestion") {
+			if utilResults, err = res.Utils(); err != nil {
+				fmt.Fprintf(os.Stderr, "rtrsim: %v\n", err)
+				os.Exit(1)
+			}
+			if rec != nil {
+				for _, u := range utilResults {
+					rec.Add(perf.Entry{Name: "congestion-" + u.Scheme, Topology: u.Topology, PeakUtil: u.Post.Peak})
+				}
+			}
+		}
 	}
 
 	if has("fig7") {
@@ -307,6 +352,9 @@ func main() {
 	if has("table4") {
 		printTable4(datasets)
 	}
+	if has("congestion") {
+		printCongestion(utilResults)
+	}
 	if has("loss") {
 		printLoss(worlds, *lossScen, seedpkg.Derive(*seed, "loss"), *check)
 	}
@@ -320,11 +368,31 @@ func main() {
 		printMultiArea(worlds, seedpkg.Derive(*seed, "multiarea"))
 	}
 	if *csvDir != "" {
-		if err := writeCSVs(*csvDir, datasets, fig11Series, has); err != nil {
+		if err := writeCSVs(*csvDir, datasets, fig11Series, utilResults, has); err != nil {
 			fmt.Fprintf(os.Stderr, "rtrsim: csv: %v\n", err)
 			os.Exit(1)
 		}
 	}
+}
+
+// printCongestion reports the congestion experiment: per-link
+// utilization at heavy offered load before the failure (the calibrated
+// operating point) and the worst post-recovery column observed across
+// scenarios, per (topology, scheme).
+func printCongestion(results []*traffic.Result) {
+	fmt.Println("Congestion — link utilization before/after recovery (gravity traffic, heavy load)")
+	fmt.Printf("%-10s %-12s %8s %8s | %8s %8s %8s | %9s\n",
+		"Topology", "Scheme", "pre-peak", "pre-p50", "peak", "p99", "p50", "delivered")
+	for _, r := range results {
+		delivered := 100.0
+		if r.Flows.Offered > 0 {
+			delivered = 100 * r.Flows.Delivered / r.Flows.Offered
+		}
+		fmt.Printf("%-10s %-12s %8.3f %8.3f | %8.3f %8.3f %8.3f | %8.1f%%\n",
+			r.Topology, r.Scheme, r.Pre.Peak, r.Pre.P50,
+			r.Post.Peak, r.Post.P99, r.Post.P50, delivered)
+	}
+	fmt.Println()
 }
 
 // recordConvergenceBench times the per-scenario converged-table builds
@@ -600,7 +668,7 @@ func printLoss(worlds []*sim.World, scenarios int, seed int64, check bool) {
 	fmt.Println()
 }
 
-func writeCSVs(dir string, datasets []*sim.Dataset, fig11Series map[string][]sim.Fig11Point, has func(string) bool) error {
+func writeCSVs(dir string, datasets []*sim.Dataset, fig11Series map[string][]sim.Fig11Point, utilResults []*traffic.Result, has func(string) bool) error {
 	write := func(name string, fn func(io.Writer) error) error {
 		f, err := os.Create(filepath.Join(dir, name))
 		if err != nil {
@@ -670,6 +738,11 @@ func writeCSVs(dir string, datasets []*sim.Dataset, fig11Series map[string][]sim
 	}
 	if has("fig11") && fig11Series != nil {
 		if err := write("fig11.csv", func(w io.Writer) error { return report.WriteFig11(w, fig11Series) }); err != nil {
+			return err
+		}
+	}
+	if has("congestion") && len(utilResults) > 0 {
+		if err := write("congestion.csv", func(w io.Writer) error { return report.WriteUtil(w, utilResults) }); err != nil {
 			return err
 		}
 	}

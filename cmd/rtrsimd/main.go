@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/scheme"
 	"repro/internal/serve"
 	"repro/internal/spt"
 )
@@ -49,11 +50,19 @@ func main() {
 		cache  = flag.Int("cache", 64, "converged-state LRU capacity across topologies; 0 disables caching (every query rebuilds converged state)")
 		check  = flag.Bool("check", false, "run the invariant oracle on every recovery case served; violations answer 500 with a repro string")
 		drain  = flag.Duration("drain", 10*time.Second, "maximum time to wait for in-flight requests on shutdown")
+		schm   = flag.String("scheme", "", "default recovery scheme for queries that omit one: a registry name ("+strings.Join(scheme.Names(), ", ")+") or 'all' (the default); an explicit query scheme always wins")
 	)
 	flag.Parse()
 	engine, err := spt.ParseEngine(*phase2)
 	if err != nil {
 		die(err)
+	}
+	// An unknown -scheme never starts the daemon: fail at flag parse,
+	// not on the first query that trips over it.
+	if *schm != "" && *schm != serve.SchemeAll {
+		if _, err := scheme.Get(*schm); err != nil {
+			die(err)
+		}
 	}
 	var topos []string
 	if *asFlag != "all" {
@@ -63,11 +72,12 @@ func main() {
 	}
 	start := time.Now()
 	e, err := serve.New(serve.Config{
-		Topos:        topos,
-		Seed:         *seed,
-		Phase2:       engine,
-		CacheEntries: *cache,
-		Check:        *check,
+		Topos:         topos,
+		Seed:          *seed,
+		Phase2:        engine,
+		CacheEntries:  *cache,
+		Check:         *check,
+		DefaultScheme: *schm,
 	})
 	if err != nil {
 		die(err)

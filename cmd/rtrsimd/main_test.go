@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	buildErr  error
+)
+
+func binary(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "rtrsimd-test-")
+		if err != nil {
+			buildErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "rtrsimd")
+		if out, err := exec.Command("go", "build", "-o", binPath, ".").CombinedOutput(); err != nil {
+			buildErr = fmt.Errorf("go build: %v\n%s", err, out)
+		}
+	})
+	if buildErr != nil {
+		t.Fatal(buildErr)
+	}
+	return binPath
+}
+
+// TestUnknownSchemeExitsOne: an unknown -scheme must kill the daemon
+// at flag parse with exit 1 and a registry-naming error — it must
+// never get as far as binding a socket or building a world.
+func TestUnknownSchemeExitsOne(t *testing.T) {
+	cmd := exec.Command(binary(t), "-scheme", "ospf", "-as", "AS1239")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) || ee.ExitCode() != 1 {
+		t.Fatalf("err = %v, want exit 1", err)
+	}
+	if !strings.Contains(stderr.String(), "unknown scheme") {
+		t.Errorf("stderr %q does not explain the unknown scheme", stderr.String())
+	}
+}

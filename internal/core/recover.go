@@ -60,6 +60,28 @@ func (s *Session) recoveryTree() *spt.Tree {
 	return s.tree
 }
 
+// Prepare finishes every lazily built piece of the session after
+// collection: the pruned view, and — engine-dependent — the recovery
+// tree (default engine) or the shortest-path-calculation charge (goal
+// engines, which count their first query as the session's one
+// calculation). After Prepare returns, RecoveryPathInto and
+// ForwardSourceRouted perform no further session mutation, so a warmed
+// session may serve any number of goroutines concurrently — the
+// serving layer memoizes one prepared session per (failure entry,
+// initiator, trigger) and shares it across queries. SPCalcs reports
+// the same value as an unprepared session would after its first
+// destination, so outcomes stay bit-identical.
+func (s *Session) Prepare() {
+	if s.r.phase2 != spt.EngineDijkstra {
+		if s.spCalcs == 0 {
+			s.spCalcs = 1
+		}
+		s.prunedView()
+		return
+	}
+	s.recoveryTree()
+}
+
 // RecoveryPath returns the shortest recovery path from the initiator
 // to dst in the initiator's pruned view. ok is false when dst is
 // unreachable in that view — RTR then discards packets for dst
@@ -122,6 +144,47 @@ func (s *Session) recoveryPathGoal(rt *Route, dst graph.NodeID) bool {
 		return false
 	}
 	rt.Cost = res.Cost
+	return true
+}
+
+// avoidLinks is a Denied overlay removing only the listed links (the
+// candidate-generation sets are a handful of links, so a linear scan
+// beats a map).
+type avoidLinks []graph.LinkID
+
+func (avoidLinks) NodeDown(graph.NodeID) bool { return false }
+
+func (a avoidLinks) LinkDown(id graph.LinkID) bool {
+	for _, x := range a {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// RecoveryPathAvoidingInto computes the shortest path to dst in the
+// session's pruned view with the avoid links additionally removed,
+// writing into rt like RecoveryPathInto. Congestion-aware schemes use
+// it to generate alternative recovery candidates around the primary
+// path. Each call is one full shortest-path computation over the
+// overlaid view and is charged to SPCalcs accordingly — unlike a
+// prepared session's RecoveryPathInto it mutates the session, so
+// callers own the session exclusively (the usual Session contract).
+func (s *Session) RecoveryPathAvoidingInto(rt *Route, dst graph.NodeID, avoid []graph.LinkID) bool {
+	view := graph.Union{X: s.prunedView(), Y: avoidLinks(avoid)}
+	ws := spt.GetWorkspace()
+	defer ws.Release()
+	t := ws.Compute(s.r.topo.G, s.initiator, view)
+	s.spCalcs++
+	rt.Nodes, _ = t.AppendPathNodes(rt.Nodes[:0], dst)
+	rt.Links = rt.Links[:0]
+	rt.Cost = 0
+	if len(rt.Nodes) == 0 {
+		return false
+	}
+	rt.Links, _ = t.AppendPathLinks(rt.Links, dst)
+	rt.Cost, _ = t.CostTo(dst)
 	return true
 }
 

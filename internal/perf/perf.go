@@ -52,6 +52,11 @@ type Entry struct {
 	// CacheHitRate is the warm-cache hit fraction in [0, 1] observed
 	// during a serving entry (0 when not applicable or not measured).
 	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+	// PeakUtil is the post-recovery peak link utilization a
+	// congestion-experiment entry measured (0 when not applicable).
+	// Unlike the timing fields, lower is better only relative to other
+	// schemes on the same topology under the same traffic matrix.
+	PeakUtil float64 `json:"peak_util,omitempty"`
 }
 
 // Record is the JSON document a run emits.
@@ -166,10 +171,14 @@ func (r *Recorder) Record() Record {
 // (name, topology, procs) so reruns update in place — a tool that
 // contributes only its own entries never clobbers another tool's. All
 // other entries are untouched and the record keeps the canonical sort
-// order. Path rules match WriteFile (directory or "" names the file
-// BENCH_<date>.json; a .json path is used verbatim). Returns the path
-// written.
+// order. Duplicates within the incoming batch itself are deduplicated
+// last-wins (the later measurement of a re-timed phase supersedes the
+// earlier one), so the merged record never carries two entries under
+// one key regardless of how the caller accumulated them. Path rules
+// match WriteFile (directory or "" names the file BENCH_<date>.json; a
+// .json path is used verbatim). Returns the path written.
 func MergeFile(path string, entries []Entry) (string, error) {
+	entries = dedupeLastWins(entries)
 	rec := Record{
 		Date:      time.Now().Format("2006-01-02"),
 		GoVersion: runtime.Version(),
@@ -188,11 +197,11 @@ func MergeFile(path string, entries []Entry) (string, error) {
 		}
 		replaced := make(map[[2]string]bool, len(entries))
 		for _, e := range entries {
-			replaced[[2]string{e.Name, e.Topology + "\x00" + fmt.Sprint(e.Procs)}] = true
+			replaced[mergeKey(e)] = true
 		}
 		kept := rec.Entries[:0]
 		for _, e := range rec.Entries {
-			if replaced[[2]string{e.Name, e.Topology + "\x00" + fmt.Sprint(e.Procs)}] {
+			if replaced[mergeKey(e)] {
 				continue
 			}
 			kept = append(kept, e)
@@ -221,6 +230,29 @@ func MergeFile(path string, entries []Entry) (string, error) {
 		}
 	}
 	return out, os.WriteFile(out, append(data, '\n'), 0o644)
+}
+
+// mergeKey is the entry identity MergeFile replaces on.
+func mergeKey(e Entry) [2]string {
+	return [2]string{e.Name, e.Topology + "\x00" + fmt.Sprint(e.Procs)}
+}
+
+// dedupeLastWins collapses repeated (name, topology, procs) keys in
+// one batch, keeping each key's last entry at its first position so
+// the pre-sort order stays deterministic.
+func dedupeLastWins(entries []Entry) []Entry {
+	seen := make(map[[2]string]int, len(entries))
+	out := entries[:0:0]
+	for _, e := range entries {
+		k := mergeKey(e)
+		if i, ok := seen[k]; ok {
+			out[i] = e
+			continue
+		}
+		seen[k] = len(out)
+		out = append(out, e)
+	}
+	return out
 }
 
 // WriteFile writes the record as indented JSON. When path is a

@@ -66,6 +66,69 @@ func TestMeasureRecordsAllocs(t *testing.T) {
 	}
 }
 
+// TestMergeFileDedupesIncomingBatch covers last-wins deduplication
+// within one MergeFile call: a batch carrying the same (name,
+// topology, procs) key several times must land as a single entry
+// holding the last measurement, both against a fresh record and when
+// folding into an existing file.
+func TestMergeFileDedupesIncomingBatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	batch := []Entry{
+		{Name: "phase", Topology: "AS1239", Procs: 1, NsPerOp: 100},
+		{Name: "other", Topology: "AS1239", Procs: 1, NsPerOp: 7},
+		{Name: "phase", Topology: "AS1239", Procs: 1, NsPerOp: 200},
+		{Name: "phase", Topology: "AS1239", Procs: 2, NsPerOp: 50}, // distinct procs: kept
+		{Name: "phase", Topology: "AS1239", Procs: 1, NsPerOp: 300},
+	}
+	if _, err := MergeFile(path, batch); err != nil {
+		t.Fatal(err)
+	}
+	read := func() Record {
+		t.Helper()
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var rec Record
+		if err := json.Unmarshal(data, &rec); err != nil {
+			t.Fatal(err)
+		}
+		return rec
+	}
+	rec := read()
+	if len(rec.Entries) != 3 {
+		t.Fatalf("entries = %d, want 3 (deduped): %+v", len(rec.Entries), rec.Entries)
+	}
+	byKey := map[[2]string]Entry{}
+	for _, e := range rec.Entries {
+		if prev, dup := byKey[mergeKey(e)]; dup {
+			t.Fatalf("duplicate key in merged record: %+v and %+v", prev, e)
+		}
+		byKey[mergeKey(e)] = e
+	}
+	if got := byKey[mergeKey(batch[0])].NsPerOp; got != 300 {
+		t.Errorf("deduped ns/op = %d, want the last entry's 300", got)
+	}
+
+	// A second merge with an internally duplicated batch must replace in
+	// place, still last-wins, still no duplicates.
+	if _, err := MergeFile(path, []Entry{
+		{Name: "phase", Topology: "AS1239", Procs: 1, NsPerOp: 400},
+		{Name: "phase", Topology: "AS1239", Procs: 1, NsPerOp: 500},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rec = read()
+	if len(rec.Entries) != 3 {
+		t.Fatalf("entries after re-merge = %d, want 3: %+v", len(rec.Entries), rec.Entries)
+	}
+	for _, e := range rec.Entries {
+		if e.Name == "phase" && e.Procs == 1 && e.NsPerOp != 500 {
+			t.Errorf("re-merged ns/op = %d, want 500", e.NsPerOp)
+		}
+	}
+}
+
 func TestWriteFileExplicitJSONPath(t *testing.T) {
 	r := NewRecorder()
 	r.Observe("x", "", time.Millisecond, 0)

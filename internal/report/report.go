@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/traffic"
 )
 
 // WriteCDF emits a CDF as (value, fraction) step points.
@@ -132,6 +133,31 @@ func WriteFig11(w io.Writer, series map[string][]sim.Fig11Point) error {
 			if err := cw.Write(row); err != nil {
 				return err
 			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteUtil emits the congestion experiment's utilization columns as
+// long-format rows, one per (topology, scheme): the pre-failure
+// calibrated column and the worst post-recovery column observed across
+// scenarios, plus the flow-conservation totals.
+func WriteUtil(w io.Writer, results []*traffic.Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"as", "scheme", "pairs", "scenarios",
+		"pre_peak", "pre_p99", "pre_p50", "pre_mean",
+		"post_peak", "post_p99", "post_p50", "post_mean",
+		"offered", "delivered", "dropped"}); err != nil {
+		return err
+	}
+	for _, r := range results {
+		row := []string{r.Topology, r.Scheme, strconv.Itoa(r.Pairs), strconv.Itoa(r.Scenarios),
+			ftoa(r.Pre.Peak), ftoa(r.Pre.P99), ftoa(r.Pre.P50), ftoa(r.Pre.Mean),
+			ftoa(r.Post.Peak), ftoa(r.Post.P99), ftoa(r.Post.P50), ftoa(r.Post.Mean),
+			ftoa(r.Flows.Offered), ftoa(r.Flows.Delivered), ftoa(r.Flows.Dropped)}
+		if err := cw.Write(row); err != nil {
+			return err
 		}
 	}
 	cw.Flush()

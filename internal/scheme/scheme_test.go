@@ -1,0 +1,239 @@
+package scheme
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/failure"
+	"repro/internal/sim"
+	"repro/internal/spt"
+	"repro/internal/topology"
+)
+
+const testSeed = 3
+
+// TestRegistryRoundTrip pins the registration contract: every builtin
+// is registered, lookups return the scheme under its own name, unknown
+// names fail with a self-explanatory error, and duplicate or anonymous
+// registrations panic at init time.
+func TestRegistryRoundTrip(t *testing.T) {
+	names := Names()
+	for _, want := range []string{NameRTR, NameFCP, NameMRC, NameSpread} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("builtin %q not registered (have %v)", want, names)
+		}
+	}
+	for _, n := range names {
+		s, err := Get(n)
+		if err != nil {
+			t.Fatalf("Get(%q): %v", n, err)
+		}
+		if s.Name() != n {
+			t.Errorf("Get(%q).Name() = %q", n, s.Name())
+		}
+	}
+	if _, err := Get("ospf"); err == nil {
+		t.Error("unknown scheme resolved")
+	} else if !strings.Contains(err.Error(), NameRTR) {
+		t.Errorf("unknown-scheme error %q does not list registered names", err)
+	}
+	mustPanic(t, "duplicate", func() { Register(rtrScheme{}) })
+	mustPanic(t, "empty name", func() { Register(anonScheme{}) })
+}
+
+type anonScheme struct{ rtrScheme }
+
+func (anonScheme) Name() string { return "" }
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("Register with %s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+// testCases draws up to n recovery cases on the world.
+func testCases(t *testing.T, w *sim.World, n int) []*sim.Case {
+	t.Helper()
+	rng := rand.New(rand.NewSource(11))
+	var out []*sim.Case
+	for draws := 0; len(out) < n && draws < sim.MaxCollectDraws; draws++ {
+		sc := failure.RandomScenario(w.Topo, rng)
+		rec, irr := sim.CasesFromScenario(w, sc)
+		out = append(out, rec...)
+		out = append(out, irr...)
+	}
+	if len(out) == 0 {
+		t.Fatal("no cases drawn")
+	}
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// TestConformance is the suite every registered scheme must pass:
+// capability flags consistent with Prepare's verdict on full and
+// scale-mode worlds, and Run producing internally consistent results
+// on real cases.
+func TestConformance(t *testing.T) {
+	w, err := sim.NewWorldFrom(topology.PaperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := sim.NewWorldFromConfig(topology.PaperExample(), sim.WorldConfig{Scale: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := testCases(t, w, 16)
+	for _, name := range Names() {
+		t.Run(name, func(t *testing.T) {
+			s, err := Get(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			caps := s.Caps()
+			if err := s.Prepare(w); err != nil {
+				t.Fatalf("Prepare on a full world: %v", err)
+			}
+			// The capability flag and the hook must agree: a NeedsMRC
+			// scheme rejects a scale-mode world, everything else serves it.
+			if err := s.Prepare(ws); (err != nil) != caps.NeedsMRC {
+				t.Fatalf("Prepare on scale world: err=%v, NeedsMRC=%v", err, caps.NeedsMRC)
+			}
+			for _, c := range cases {
+				r, err := s.Run(w, c, nil)
+				if err != nil {
+					t.Fatalf("Run(%d->%d): %v", c.Initiator, c.Dst, err)
+				}
+				if r.Delivered && len(r.Walks) == 0 {
+					t.Errorf("case %d->%d: delivered with no data walk", c.Initiator, c.Dst)
+				}
+				if r.Delivered && r.Stretch != 0 && r.Stretch < 1-1e-9 {
+					t.Errorf("case %d->%d: stretch %v < 1", c.Initiator, c.Dst, r.Stretch)
+				}
+				if !r.Delivered && (r.Optimal || r.Stretch != 0) {
+					t.Errorf("case %d->%d: undelivered but graded (%+v)", c.Initiator, c.Dst, r)
+				}
+				// Determinism: a rerun is identical (schemes may not carry
+				// hidden per-run state).
+				again, err := s.Run(w, c, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(r, again) {
+					t.Errorf("case %d->%d: rerun differs:\n%+v\n%+v", c.Initiator, c.Dst, r, again)
+				}
+			}
+		})
+	}
+}
+
+// TestBuiltinDifferentialAllTopologies proves the registry is a
+// different dispatch shape, not a different answer: on every bundled
+// topology, the builtin schemes' Run output is exactly the projection
+// of the direct sim runners on the same cases.
+func TestBuiltinDifferentialAllTopologies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a world per bundled topology")
+	}
+	for _, name := range topology.ASNames() {
+		t.Run(name, func(t *testing.T) {
+			w, err := sim.NewWorld(name, testSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range testCases(t, w, 12) {
+				truth := spt.Compute(w.Topo.G, c.Initiator, c.Scenario)
+				check := func(scheme string, got Result, want Result, err error) {
+					t.Helper()
+					if err != nil {
+						t.Fatalf("%s on %d->%d: %v", scheme, c.Initiator, c.Dst, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("%s on %d->%d differs:\nregistry %+v\nsim      %+v",
+							scheme, c.Initiator, c.Dst, got, want)
+					}
+				}
+
+				s, _ := Get(NameRTR)
+				got, err := s.Run(w, c, truth)
+				rr, rerr := sim.RunRTR(w, c, truth)
+				if rerr != nil {
+					t.Fatal(rerr)
+				}
+				check(NameRTR, got, Result{
+					Delivered: rr.Recovered, Optimal: rr.Optimal, Stretch: rr.Stretch,
+					SPCalcs: rr.SPCalcs, NoLiveNeighbor: rr.NoLiveNeighbor,
+					Walks: walks(rr.Phase2),
+				}, err)
+
+				s, _ = Get(NameFCP)
+				got, err = s.Run(w, c, truth)
+				fr, ferr := sim.RunFCP(w, c, truth)
+				if ferr != nil {
+					t.Fatal(ferr)
+				}
+				check(NameFCP, got, Result{
+					Delivered: fr.Delivered, Optimal: fr.Optimal, Stretch: fr.Stretch,
+					SPCalcs: fr.SPCalcs, Walks: walks(fr.Walk),
+				}, err)
+
+				s, _ = Get(NameMRC)
+				got, err = s.Run(w, c, truth)
+				mr, merr := sim.RunMRC(w, c, truth)
+				if merr != nil {
+					t.Fatal(merr)
+				}
+				check(NameMRC, got, Result{
+					Delivered: mr.Delivered, Optimal: mr.Optimal, Stretch: mr.Stretch,
+					Skipped: mr.Skipped, Walks: walks(mr.Walk),
+				}, err)
+			}
+		})
+	}
+}
+
+// TestSpreadBoundedStretch pins the congestion scheme's contract: the
+// chosen candidate never exceeds the slack budget relative to the
+// optimal recovery path, and delivery matches RTR on recoverable
+// cases (candidates live in the same pruned view, so a deliverable
+// primary implies the detours were computed under identical failure
+// knowledge — but forwarding may still hit an uncollected failure,
+// exactly like RTR).
+func TestSpreadBoundedStretch(t *testing.T) {
+	w, err := sim.NewWorld("AS1239", testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSpread(SpreadConfig{})
+	slack := s.cfg.slack()
+	for _, c := range testCases(t, w, 24) {
+		r, err := s.Run(w, c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr, err := sim.RunRTR(w, c, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.NoLiveNeighbor != rr.NoLiveNeighbor {
+			t.Errorf("case %d->%d: NoLiveNeighbor %v vs RTR %v", c.Initiator, c.Dst, r.NoLiveNeighbor, rr.NoLiveNeighbor)
+		}
+		if r.Delivered && rr.Optimal && r.Stretch > slack*rr.Stretch+1e-9 {
+			t.Errorf("case %d->%d: stretch %v exceeds slack %v over RTR's %v",
+				c.Initiator, c.Dst, r.Stretch, slack, rr.Stretch)
+		}
+	}
+}

@@ -17,19 +17,24 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/graph"
 	"repro/internal/invariant"
+	schemes "repro/internal/scheme"
 	"repro/internal/sim"
 	"repro/internal/spt"
 	"repro/internal/topology"
 )
 
-// Scheme names accepted in queries.
+// Scheme names accepted in queries. Any other name is resolved
+// against the recovery-scheme registry (internal/scheme), so every
+// registered scheme — congestion-aware variants included — is
+// servable without touching this package.
 const (
-	SchemeRTR = "rtr"
-	SchemeFCP = "fcp"
-	SchemeMRC = "mrc"
+	SchemeRTR = schemes.NameRTR
+	SchemeFCP = schemes.NameFCP
+	SchemeMRC = schemes.NameMRC
 	// SchemeAll runs all three protocols on the case, sharing one
 	// ground-truth tree, exactly like the sim harness's RunAll.
 	SchemeAll = "all"
@@ -84,6 +89,10 @@ type Config struct {
 	// build a scale-mode world once, and serve it — the engine never
 	// synthesizes a 10^5-node topology itself.
 	Worlds map[string]*sim.World
+	// DefaultScheme answers queries that omit a scheme ("all" when
+	// empty). Any registered scheme name or "all"; New fails fast on an
+	// unknown name so a misconfigured daemon never starts.
+	DefaultScheme string
 }
 
 // Engine answers recovery queries over a fixed set of worlds. Worlds
@@ -91,12 +100,13 @@ type Config struct {
 // scratch comes from the spt workspace pool and per-case session
 // state, so one Engine serves any number of goroutines.
 type Engine struct {
-	worlds map[string]*sim.World
-	names  []string
-	cache  *lru
-	check  bool
-	cold   bool
-	st     stats
+	worlds    map[string]*sim.World
+	names     []string
+	cache     *lru
+	check     bool
+	cold      bool
+	defScheme string
+	st        stats
 }
 
 // New loads one world per requested topology (in parallel — world
@@ -107,10 +117,16 @@ func New(cfg Config) (*Engine, error) {
 		names = topology.ASNames()
 	}
 	e := &Engine{
-		worlds: make(map[string]*sim.World, len(names)+len(cfg.Worlds)),
-		cache:  newLRU(cfg.CacheEntries),
-		check:  cfg.Check,
-		cold:   cfg.ColdConvergence,
+		worlds:    make(map[string]*sim.World, len(names)+len(cfg.Worlds)),
+		cache:     newLRU(cfg.CacheEntries),
+		check:     cfg.Check,
+		cold:      cfg.ColdConvergence,
+		defScheme: cfg.DefaultScheme,
+	}
+	if e.defScheme != "" && e.defScheme != SchemeAll {
+		if _, err := schemes.Get(e.defScheme); err != nil {
+			return nil, err
+		}
 	}
 	for name, w := range cfg.Worlds {
 		e.worlds[name] = w
@@ -203,6 +219,20 @@ type Response struct {
 	// the same case. Single-scheme queries fill only their protocol's
 	// sub-record.
 	Case *sim.CaseRecord `json:"case,omitempty"`
+	// SchemeCase carries a registered non-builtin scheme's outcome
+	// (e.g. rtr-spread) for recovery dispositions; Case stays empty for
+	// those queries.
+	SchemeCase *SchemeRecord `json:"scheme_case,omitempty"`
+}
+
+// SchemeRecord is the generic projection a non-builtin registered
+// scheme answers with.
+type SchemeRecord struct {
+	Delivered      bool    `json:"delivered"`
+	Optimal        bool    `json:"optimal,omitempty"`
+	Stretch        float64 `json:"stretch,omitempty"`
+	SPCalcs        int     `json:"sp_calcs,omitempty"`
+	NoLiveNeighbor bool    `json:"no_live_neighbor,omitempty"`
 }
 
 // ClientError marks a query the engine rejected as malformed (unknown
@@ -235,7 +265,7 @@ func (e *Engine) query(q Query) (*Response, error) {
 	if w == nil {
 		return nil, badRequestf("unknown topology %q (serving %s)", q.Topo, strings.Join(e.names, ", "))
 	}
-	scheme, err := checkScheme(w, q.Scheme)
+	scheme, err := checkScheme(w, e.orDefault(q.Scheme))
 	if err != nil {
 		return nil, err
 	}
@@ -249,23 +279,46 @@ func (e *Engine) query(q Query) (*Response, error) {
 	return e.answerPair(w, q.Topo, en, hit, scheme, q.Src, q.Dst)
 }
 
+// orDefault substitutes the engine's configured default scheme for an
+// omitted one; an explicit query scheme always wins.
+func (e *Engine) orDefault(scheme string) string {
+	if scheme == "" {
+		return e.defScheme
+	}
+	return scheme
+}
+
 // checkScheme validates and defaults a query's scheme against the
-// world it will run on (mrc is a client error on scale-mode worlds,
-// which carry no MRC engine).
+// world it will run on, resolving any non-"all" name through the
+// scheme registry. Capability flags are honored here: a scheme whose
+// Prepare rejects the world (mrc on a scale-mode world without an MRC
+// engine) is a client error, not a server failure.
 func checkScheme(w *sim.World, scheme string) (string, error) {
 	if scheme == "" {
 		scheme = SchemeAll
 	}
-	switch scheme {
-	case SchemeRTR, SchemeFCP, SchemeAll:
-	case SchemeMRC:
-		if !w.HasMRC() {
-			return "", badRequestf("scheme mrc unavailable on %s: scale-mode world carries no MRC engine (use rtr, fcp, or all)", w.Topo.Name)
-		}
-	default:
-		return "", badRequestf("unknown scheme %q (want rtr, fcp, mrc, or all)", scheme)
+	if scheme == SchemeAll {
+		return scheme, nil
+	}
+	s, err := schemes.Get(scheme)
+	if err != nil {
+		return "", badRequestf("%v (or all)", err)
+	}
+	if err := s.Prepare(w); err != nil {
+		return "", badRequestf("%v", err)
 	}
 	return scheme, nil
+}
+
+// builtinScheme reports a scheme the response answers through the
+// typed sim.CaseRecord projection; every other registered scheme
+// answers through the generic SchemeRecord.
+func builtinScheme(scheme string) bool {
+	switch scheme {
+	case SchemeAll, SchemeRTR, SchemeFCP, SchemeMRC:
+		return true
+	}
+	return false
 }
 
 func checkPair(w *sim.World, topo string, src, dst int) error {
@@ -285,6 +338,15 @@ func checkPair(w *sim.World, topo string, src, dst int) error {
 // instance (reordered terms, trailing zeros) maps to one fingerprint
 // and therefore one cache entry.
 func (e *Engine) lookupEntry(w *sim.World, topoName, failureDesc string) (*entry, bool, error) {
+	// Canonical-descriptor fast path: a client replaying a fingerprint
+	// the engine handed back (Response.Failure) hits the cached entry
+	// without re-parsing and re-composing the instance — at 10^5 nodes
+	// that compose is the dominant per-query cost on a warm entry.
+	if en, ok := e.cache.hit(topoName + "\x00" + failureDesc); ok {
+		e.st.hits.Add(1)
+		en.warm(w, e.cold)
+		return en, true, nil
+	}
 	sc, err := failure.ParseInstance(w.Topo, failureDesc)
 	if err != nil {
 		return nil, false, &ClientError{Msg: err.Error()}
@@ -345,8 +407,20 @@ func (e *Engine) answerPair(w *sim.World, topoName string, en *entry, hit bool, 
 	out := sim.Outcome{Case: c, Truth: truth}
 	var err, firstErr error
 	if scheme == SchemeAll || scheme == SchemeRTR {
-		if out.RTR, err = sim.RunRTR(w, c, truth); err != nil && firstErr == nil {
-			firstErr = err
+		// RTR rides the entry's memoized session: one phase-1 walk and
+		// one pruned-view shortest-path computation per (initiator,
+		// trigger), shared across every query and batch member asking
+		// about that pair of coordinates. The route buffer is per-call —
+		// the prepared session itself is read-only.
+		se := en.sessionFor(w, src, link)
+		switch {
+		case se.err != nil:
+			firstErr = se.err
+		case se.noLive:
+			out.RTR = sim.RTRResult{NoLiveNeighbor: true}
+		default:
+			var rt core.Route
+			out.RTR = sim.RunRTRSession(w, c, se.sess, se.col, &rt, truth)
 		}
 	}
 	if scheme == SchemeAll || scheme == SchemeFCP {
@@ -359,6 +433,25 @@ func (e *Engine) answerPair(w *sim.World, topoName string, en *entry, hit bool, 
 			firstErr = err
 		}
 	}
+	var extra *SchemeRecord
+	if !builtinScheme(scheme) {
+		s, serr := schemes.Get(scheme)
+		if serr != nil {
+			return nil, serr // unreachable: checkScheme already resolved it
+		}
+		r, serr := s.Run(w, c, truth)
+		if serr != nil && firstErr == nil {
+			firstErr = serr
+		} else if serr == nil {
+			extra = &SchemeRecord{
+				Delivered:      r.Delivered,
+				Optimal:        r.Optimal,
+				Stretch:        r.Stretch,
+				SPCalcs:        r.SPCalcs,
+				NoLiveNeighbor: r.NoLiveNeighbor,
+			}
+		}
+	}
 	out.Err = firstErr
 	if firstErr != nil {
 		e.st.runnerErrors.Add(1)
@@ -369,6 +462,10 @@ func (e *Engine) answerPair(w *sim.World, topoName string, en *entry, hit bool, 
 			e.st.violations.Add(int64(len(vs)))
 			return nil, fmt.Errorf("serve: %w", vs[0])
 		}
+	}
+	if extra != nil {
+		resp.SchemeCase = extra
+		return resp, nil
 	}
 	rec := out.Record()
 	resp.Case = &rec
@@ -436,7 +533,7 @@ func (e *Engine) queryBatch(b Batch) (*BatchResponse, error) {
 	if w == nil {
 		return nil, badRequestf("unknown topology %q (serving %s)", b.Topo, strings.Join(e.names, ", "))
 	}
-	scheme, err := checkScheme(w, b.Scheme)
+	scheme, err := checkScheme(w, e.orDefault(b.Scheme))
 	if err != nil {
 		return nil, err
 	}

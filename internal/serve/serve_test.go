@@ -143,6 +143,48 @@ func TestSingleSchemeProjection(t *testing.T) {
 	}
 }
 
+// TestDefaultSchemeAndRegistryServing pins the -scheme plumbing: an
+// unknown default never constructs an engine, a configured default
+// answers queries that omit a scheme (through the generic registry
+// record for non-builtin schemes), and an explicit query scheme always
+// wins over the default.
+func TestDefaultSchemeAndRegistryServing(t *testing.T) {
+	if _, err := New(Config{Topos: []string{"AS1239"}, Seed: testSeed, DefaultScheme: "ospf"}); err == nil {
+		t.Fatal("unknown default scheme must fail construction")
+	}
+	e, err := New(Config{Topos: []string{"AS1239"}, Seed: testSeed, CacheEntries: 4, DefaultScheme: "rtr-spread"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testCaseQuery(t, e, "AS1239")
+	resp, err := e.Query(q) // no scheme → the default applies
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Scheme != "rtr-spread" || resp.SchemeCase == nil || resp.Case != nil {
+		t.Fatalf("defaulted query: scheme=%q schemeCase=%v case=%v", resp.Scheme, resp.SchemeCase, resp.Case)
+	}
+	explicit := q
+	explicit.Scheme = "rtr-spread"
+	eresp, err := e.Query(explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.CacheHit, eresp.CacheHit = false, false // first query warms the converged state
+	if mustJSON(t, resp) != mustJSON(t, eresp) {
+		t.Error("defaulted and explicit rtr-spread answers differ")
+	}
+	all := q
+	all.Scheme = SchemeAll
+	aresp, err := e.Query(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aresp.Scheme != SchemeAll || aresp.Case == nil || aresp.SchemeCase != nil {
+		t.Errorf("explicit all did not override the default: scheme=%q", aresp.Scheme)
+	}
+}
+
 // testEngine builds a single-topology engine once per (name, cache)
 // pair within a test.
 func testEngine(t *testing.T, name string, cacheEntries int) *Engine {

@@ -111,6 +111,19 @@ func finishRTR(res *RTRResult, w *World, c *Case, sess *core.Session, col *core.
 	}
 }
 
+// RunRTRSession runs the per-destination tail of RTR — recovery path,
+// phase-2 forwarding, grading — on a session whose collection already
+// happened (col is its result). The serving layer memoizes one
+// prepared session per (converged entry, initiator, trigger) and
+// shares it across queries; rt is the caller's route buffer — one per
+// query keeps a prepared session read-only and therefore share-safe.
+// truth may be nil (cost computed into pooled scratch).
+func RunRTRSession(w *World, c *Case, sess *core.Session, col *core.CollectResult, rt *core.Route, truth *spt.Tree) RTRResult {
+	var res RTRResult
+	finishRTR(&res, w, c, sess, col, rt, staticTruth(truth))
+	return res
+}
+
 // costEqual compares path costs with a relative tolerance: two trees
 // can pick different equal-cost shortest paths whose float sums differ
 // only in summation order.
@@ -182,6 +195,11 @@ type MRCResult struct {
 	Delivered bool
 	Optimal   bool
 	Stretch   float64
+	// Walk is the packet trajectory under the backup configurations
+	// (including dropped trajectories). Load accounting charges per-link
+	// utilization from it; the serialized CaseRecord projection ignores
+	// it.
+	Walk routing.Walk
 	// Skipped marks a case run on a world without an MRC engine
 	// (scale mode); the other fields are then meaningless zeros.
 	Skipped bool
@@ -202,6 +220,7 @@ func runMRC(w *World, c *Case, truth truthSource) (MRCResult, error) {
 	if err != nil {
 		return res, err
 	}
+	res.Walk = r.Walk
 	if !r.Delivered {
 		return res, nil
 	}

@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"repro/internal/sim"
+	"repro/internal/traffic"
 )
 
 // CheckpointVersion guards the on-disk layout. Bump it whenever the
@@ -41,6 +42,10 @@ type ShardResult struct {
 
 	Failed        int `json:"failed,omitempty"`
 	Irrecoverable int `json:"irrecoverable,omitempty"`
+
+	// Scheme and Util carry a congestion shard's measurement (KindUtil).
+	Scheme string          `json:"scheme,omitempty"`
+	Util   *traffic.Result `json:"util,omitempty"`
 
 	ElapsedNs int64 `json:"elapsed_ns"`
 }

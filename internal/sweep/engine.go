@@ -13,8 +13,11 @@ import (
 	"repro/internal/invariant"
 	"repro/internal/par"
 	"repro/internal/perf"
+	"repro/internal/routing"
+	"repro/internal/scheme"
 	"repro/internal/sim"
 	"repro/internal/spt"
+	"repro/internal/traffic"
 )
 
 // Engine executes a sweep Spec over a worker pool, checkpointing as it
@@ -98,6 +101,18 @@ func (e *Engine) Run(ctx context.Context) (*RunResult, error) {
 		if w.Phase2 != eng {
 			return nil, fmt.Errorf("sweep: world %q built with phase-2 engine %s, spec wants %s",
 				sh.Topology, w.Phase2, eng)
+		}
+		// Congestion shards resolve their scheme fail-fast, and the
+		// scheme's Prepare hook vets the world (e.g. mrc on a scale-mode
+		// world) before any shard spends compute.
+		if sh.Kind == KindUtil {
+			s, err := scheme.Get(sh.Scheme)
+			if err != nil {
+				return nil, fmt.Errorf("sweep: %w", err)
+			}
+			if err := s.Prepare(w); err != nil {
+				return nil, fmt.Errorf("sweep: %w", err)
+			}
 		}
 	}
 	res := &RunResult{
@@ -216,6 +231,13 @@ func (e *Engine) runShard(sh Shard) (*ShardResult, error) {
 		Radius:   sh.Radius,
 	}
 	switch sh.Kind {
+	case KindUtil:
+		util, err := e.runUtilShard(sh, w, rng)
+		if err != nil {
+			return nil, err
+		}
+		sr.Scheme = sh.Scheme
+		sr.Util = util
 	case KindFig11:
 		// Fig. 11 shards only count failed paths — no per-case
 		// protocol output exists for Check to validate. The radius
@@ -255,4 +277,49 @@ func (e *Engine) runShard(sh Shard) (*ShardResult, error) {
 		sr.Irr = sim.Records(sim.RunAllN(w, irr, 1))
 	}
 	return sr, nil
+}
+
+// runUtilShard measures one (topology, scheme) congestion shard: a
+// gravity matrix synthesized from the shard RNG, capacity calibrated
+// to the heavy-load operating point on clean tables, then the matrix
+// replayed under the spec's failure draws with the named scheme
+// carrying recovery traffic. Post columns aggregate by max across
+// scenarios; with Spec.Check set, the result passes the utilization
+// oracle before the shard is recorded.
+func (e *Engine) runUtilShard(sh Shard, w *sim.World, rng *rand.Rand) (*traffic.Result, error) {
+	s, err := scheme.Get(sh.Scheme)
+	if err != nil {
+		return nil, err
+	}
+	m := traffic.Gravity(w.Topo, e.Spec.utilPairs(), rng)
+	base := traffic.Baseline(w, m)
+	capacity := traffic.CalibrateCapacity(base, traffic.HeavyLoadTarget)
+	res := &traffic.Result{
+		Topology: sh.Topology,
+		Scheme:   sh.Scheme,
+		Pairs:    len(m.Demands),
+		Capacity: capacity,
+		Pre:      traffic.Summarize(base, capacity, nil, w.Topo.G),
+	}
+	run := func(c *sim.Case) (bool, []routing.Walk, error) {
+		r, err := s.Run(w, c, nil)
+		if err != nil {
+			return false, nil, err
+		}
+		return r.Delivered, r.Walks, nil
+	}
+	for i := 0; i < e.Spec.utilScenarios(); i++ {
+		sc := e.gen.Generate(w.Topo, rng)
+		load, fl, err := traffic.RunUnder(w, sc, m, run)
+		if err != nil {
+			return nil, err
+		}
+		res.Merge(traffic.Summarize(load, capacity, sc, w.Topo.G), fl)
+	}
+	if e.Spec.Check {
+		if vs := invariant.CheckUtil(*res, traffic.HeavyLoadTarget); len(vs) > 0 {
+			return nil, vs[0]
+		}
+	}
+	return res, nil
 }

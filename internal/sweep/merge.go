@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/traffic"
 )
 
 // Datasets assembles the per-topology datasets from a completed run
@@ -77,6 +78,27 @@ func (r *RunResult) Fig11() (map[string][]sim.Fig11Point, error) {
 			points = append(points, sim.NewFig11Point(radius, c.failed, c.irr))
 		}
 		out[as] = points
+	}
+	return out, nil
+}
+
+// Utils collects the congestion measurements in plan order — one per
+// (topology, scheme) — so tables and CSVs print rows in the same order
+// regardless of scheduling.
+func (r *RunResult) Utils() ([]*traffic.Result, error) {
+	var out []*traffic.Result
+	for _, sh := range r.Plan {
+		if sh.Kind != KindUtil {
+			continue
+		}
+		sr, ok := r.Results[sh.Key]
+		if !ok {
+			return nil, fmt.Errorf("sweep: incomplete run: shard %s has no result", sh.Key)
+		}
+		if sr.Util == nil {
+			return nil, fmt.Errorf("sweep: shard %s recorded no utilization result", sh.Key)
+		}
+		out = append(out, sr.Util)
 	}
 	return out, nil
 }

@@ -37,6 +37,16 @@ const (
 	// KindFig11 is one block of random failure areas at one radius on
 	// one topology, counting failed and irrecoverable routing paths.
 	KindFig11 Kind = "fig11"
+	// KindUtil is one (topology, scheme) congestion measurement: a
+	// gravity-model traffic matrix replayed under failure draws with
+	// per-link utilization accounting before/after recovery.
+	KindUtil Kind = "util"
+)
+
+// Default congestion-shard sizing.
+const (
+	DefaultUtilPairs     = 2000
+	DefaultUtilScenarios = 5
 )
 
 // Default shard granularities. Blocks must be big enough to amortize
@@ -94,6 +104,19 @@ type Spec struct {
 	// radius pinning (failure.FixedRadius).
 	Failure string `json:"failure,omitempty"`
 
+	// UtilSchemes enables congestion shards when non-empty: one shard
+	// per (topology, scheme name), each synthesizing a gravity-model
+	// traffic matrix of UtilPairs demands, calibrating capacity to the
+	// heavy-load operating point, and replaying the matrix under
+	// UtilScenarios failure draws with the named recovery scheme.
+	// Scheme names resolve against the recovery-scheme registry
+	// (internal/scheme), fail-fast in Engine.Run. All three knobs
+	// change results, so they are fingerprinted (omitempty: absent
+	// keeps every existing checkpoint fingerprint unchanged).
+	UtilSchemes   []string `json:"util_schemes,omitempty"`
+	UtilPairs     int      `json:"util_pairs,omitempty"`
+	UtilScenarios int      `json:"util_scenarios,omitempty"`
+
 	// Check runs the invariant oracle (internal/invariant) over every
 	// case a shard generates and fails the whole sweep on the first
 	// violation, carrying a minimized repro string. Only case shards
@@ -127,6 +150,20 @@ func (s Spec) blockAreas() int {
 	return DefaultBlockAreas
 }
 
+func (s Spec) utilPairs() int {
+	if s.UtilPairs > 0 {
+		return s.UtilPairs
+	}
+	return DefaultUtilPairs
+}
+
+func (s Spec) utilScenarios() int {
+	if s.UtilScenarios > 0 {
+		return s.UtilScenarios
+	}
+	return DefaultUtilScenarios
+}
+
 // Shard is one deterministic unit of work. Its Key is stable across
 // runs and is what the checkpoint records.
 type Shard struct {
@@ -140,6 +177,9 @@ type Shard struct {
 	// Radius and Areas size a Fig. 11 shard (KindFig11).
 	Radius float64 `json:"radius,omitempty"`
 	Areas  int     `json:"areas,omitempty"`
+	// Scheme names the recovery scheme a congestion shard replays
+	// (KindUtil).
+	Scheme string `json:"scheme,omitempty"`
 }
 
 // Seed derives the shard's RNG seed from the sweep's base seed. Two
@@ -152,6 +192,8 @@ func (sh Shard) Seed(base int64) int64 {
 	case KindFig11:
 		return seed.Derive(base, string(sh.Kind), sh.Topology,
 			strconv.FormatFloat(sh.Radius, 'g', -1, 64), strconv.Itoa(sh.Block))
+	case KindUtil:
+		return seed.Derive(base, string(sh.Kind), sh.Topology, sh.Scheme, strconv.Itoa(sh.Block))
 	default:
 		return seed.Derive(base, string(sh.Kind), sh.Topology, strconv.Itoa(sh.Block))
 	}
@@ -199,6 +241,16 @@ func (s Spec) Shards() []Shard {
 					})
 				}
 			}
+		}
+	}
+	for _, as := range s.Topologies {
+		for _, sm := range s.UtilSchemes {
+			out = append(out, Shard{
+				Key:      fmt.Sprintf("util/%s/%s", as, sm),
+				Kind:     KindUtil,
+				Topology: as,
+				Scheme:   sm,
+			})
 		}
 	}
 	return out

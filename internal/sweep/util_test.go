@@ -1,0 +1,160 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// utilSpec is a pure congestion workload: no case or Fig. 11 shards,
+// two schemes on the shared AS1239 world, small enough for unit tests
+// but checked end to end by the utilization oracle.
+func utilSpec() Spec {
+	return Spec{
+		BaseSeed:      7,
+		Topologies:    []string{"AS1239"},
+		UtilSchemes:   []string{"rtr", "rtr-spread"},
+		UtilPairs:     80,
+		UtilScenarios: 3,
+		Check:         true,
+	}
+}
+
+func utilsJSON(t *testing.T, res *RunResult) string {
+	t.Helper()
+	us, err := res.Utils()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.MarshalIndent(us, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestUtilShardPlan(t *testing.T) {
+	plan := utilSpec().Shards()
+	want := []string{"util/AS1239/rtr", "util/AS1239/rtr-spread"}
+	if len(plan) != len(want) {
+		t.Fatalf("got %d shards, want %d", len(plan), len(want))
+	}
+	for i, sh := range plan {
+		if sh.Key != want[i] || sh.Kind != KindUtil || sh.Scheme == "" {
+			t.Errorf("shard %d = %+v, want key %s", i, sh, want[i])
+		}
+	}
+	// Distinct schemes draw distinct RNG streams on the same topology.
+	if plan[0].Seed(7) == plan[1].Seed(7) {
+		t.Error("rtr and rtr-spread shards share a seed")
+	}
+}
+
+func TestUtilSweepDeterministicAcrossWorkers(t *testing.T) {
+	worlds := as1239(t)
+	var want string
+	for _, workers := range []int{1, 2} {
+		e := &Engine{Spec: utilSpec(), Worlds: worlds, Workers: workers}
+		res, err := e.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Complete() {
+			t.Fatalf("workers=%d: run incomplete", workers)
+		}
+		got := utilsJSON(t, res)
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Fatalf("workers=%d produced different utilization output", workers)
+		}
+	}
+	// Sanity on the measurement itself: the pre column sits at the
+	// calibrated heavy-load point (the oracle enforces this too, via
+	// Spec.Check above, but assert it visibly here).
+	if !strings.Contains(want, "\"peak\": 0.9") {
+		t.Errorf("pre-failure peak not at heavy-load target:\n%s", want)
+	}
+}
+
+// TestUtilSweepResume: congestion shards checkpoint and resume like
+// case shards — an interrupted run finished by a second process merges
+// to the same bytes as an uninterrupted one.
+func TestUtilSweepResume(t *testing.T) {
+	worlds := as1239(t)
+	spec := utilSpec()
+	full, err := (&Engine{Spec: spec, Worlds: worlds, Workers: 2}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := utilsJSON(t, full)
+
+	dir := t.TempDir()
+	first, err := (&Engine{Spec: spec, Worlds: worlds, Workers: 1, Dir: dir, MaxShards: 1}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Interrupted || first.Executed != 1 {
+		t.Fatalf("interrupted run: executed=%d interrupted=%v", first.Executed, first.Interrupted)
+	}
+	if _, err := first.Utils(); err == nil {
+		t.Fatal("merging an incomplete util run must fail")
+	}
+	second, err := (&Engine{Spec: spec, Worlds: worlds, Workers: 2, Dir: dir, Resume: true}).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Loaded != 1 || !second.Complete() {
+		t.Fatalf("resumed run: loaded=%d complete=%v", second.Loaded, second.Complete())
+	}
+	if got := utilsJSON(t, second); got != want {
+		t.Fatal("interrupt+resume produced different utilization output than an uninterrupted run")
+	}
+}
+
+// TestUtilSweepUnknownSchemeFailsFast: a bad scheme name is rejected
+// in Run before any shard executes, naming the registry's options.
+func TestUtilSweepUnknownSchemeFailsFast(t *testing.T) {
+	worlds := as1239(t)
+	spec := utilSpec()
+	spec.UtilSchemes = []string{"ospf"}
+	_, err := (&Engine{Spec: spec, Worlds: worlds}).Run(context.Background())
+	if err == nil || !strings.Contains(err.Error(), "unknown scheme") {
+		t.Fatalf("err = %v, want unknown-scheme failure", err)
+	}
+}
+
+// TestUtilKnobsFingerprinted: every knob that changes congestion
+// results changes the checkpoint fingerprint, and a spec without them
+// fingerprints identically to one predating the fields.
+func TestUtilKnobsFingerprinted(t *testing.T) {
+	base := utilSpec()
+	for name, mut := range map[string]func(*Spec){
+		"schemes":   func(s *Spec) { s.UtilSchemes = []string{"rtr"} },
+		"pairs":     func(s *Spec) { s.UtilPairs = 81 },
+		"scenarios": func(s *Spec) { s.UtilScenarios = 4 },
+	} {
+		s := base
+		mut(&s)
+		if Fingerprint(s) == Fingerprint(base) {
+			t.Errorf("%s change did not alter the fingerprint", name)
+		}
+	}
+	plain := base
+	plain.UtilSchemes = nil
+	plain.UtilPairs = 0
+	plain.UtilScenarios = 0
+	if strings.Contains(string(mustJSON(t, plain)), "util_") {
+		t.Error("zero util knobs leak into the canonical spec JSON")
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
